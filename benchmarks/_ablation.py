@@ -1,0 +1,47 @@
+"""Shared machinery for the ablation benches.
+
+Each ablation retrains the representation model under one changed
+design choice on the (smaller) ablation world and reports the raw
+similarity AUC on the date-disjoint evaluation split — the cleanest
+probe of representation quality, with no combiner in the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import JointModelConfig, TrainingConfig
+from repro.datagen.dataset import EventRecDataset
+from repro.eval.metrics import roc_auc
+from repro.eval.protocol import TwoStageExperiment
+from repro.gbdt.boosting import GBDTConfig
+
+__all__ = ["train_and_eval_raw_auc"]
+
+
+def train_and_eval_raw_auc(
+    dataset: EventRecDataset,
+    model_config: JointModelConfig,
+    training_config: TrainingConfig,
+    use_siamese_init: bool = True,
+) -> tuple[float, TwoStageExperiment]:
+    """Train one representation-model variant; return its raw cosine
+    AUC on the evaluation split (and the prepared experiment)."""
+    experiment = TwoStageExperiment(
+        dataset,
+        model_config=model_config,
+        training_config=training_config,
+        gbdt_config=GBDTConfig(num_trees=10),  # combiner unused here
+        use_siamese_init=use_siamese_init,
+        min_df=1 if len(dataset.users) < 200 else 2,
+    )
+    experiment.prepare()
+    evaluation = experiment.splits.evaluation
+    labels = np.array([1.0 if i.participated else 0.0 for i in evaluation])
+    scores = np.array(
+        [
+            experiment.provider.similarity(i.user_id, i.event_id)
+            for i in evaluation
+        ]
+    )
+    return roc_auc(labels, scores), experiment

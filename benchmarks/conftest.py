@@ -1,0 +1,144 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavyweight pieces — the synthetic world and the trained joint
+representation model — are built once per session and shared by every
+table/figure bench.  Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``full`` (default) — the scale the reported numbers come from
+  (800 users × 600 events; prepare takes a few minutes);
+* ``ci`` — a tiny world for smoke-testing the harness itself.
+
+Each bench writes its reproduced table/figure to
+``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import JointModelConfig, TrainingConfig
+from repro.datagen import DataConfig, build_dataset
+from repro.eval.protocol import TwoStageExperiment
+from repro.gbdt.boosting import GBDTConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    if scale not in ("full", "ci"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'full' or 'ci', got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a reproduced table/figure as a text artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_scale):
+    """The main experiment world."""
+    if bench_scale == "ci":
+        return build_dataset(DataConfig.small(seed=3))
+    return build_dataset(
+        DataConfig(
+            num_users=800,
+            num_events=600,
+            num_pages=120,
+            num_cities=5,
+            audience_size=45,
+            seed=3,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def prepared_experiment(bench_dataset, bench_scale):
+    """The trained two-stage experiment shared by all table benches."""
+    if bench_scale == "ci":
+        experiment = TwoStageExperiment(
+            bench_dataset,
+            model_config=JointModelConfig.small(seed=0),
+            training_config=TrainingConfig(
+                epochs=2, batch_size=32, learning_rate=0.01, patience=3, seed=0
+            ),
+            gbdt_config=GBDTConfig(num_trees=25, max_leaves=6, min_samples_leaf=5),
+            use_siamese_init=True,
+            min_df=1,
+        )
+    else:
+        experiment = TwoStageExperiment(
+            bench_dataset,
+            model_config=JointModelConfig.bench(seed=0),
+            training_config=TrainingConfig(
+                epochs=18, batch_size=64, learning_rate=0.015, patience=6, seed=0
+            ),
+            gbdt_config=GBDTConfig(num_trees=200, max_leaves=12),
+            use_siamese_init=True,
+        )
+    return experiment.prepare()
+
+
+@pytest.fixture(scope="session")
+def table1_results(prepared_experiment):
+    """Table-1 settings, computed once, reused by Figure 5."""
+    return prepared_experiment.run_table1()
+
+
+@pytest.fixture(scope="session")
+def table2_results(prepared_experiment):
+    """Table-2 settings, computed once, reused by Figure 6."""
+    return prepared_experiment.run_table2()
+
+
+@pytest.fixture(scope="session")
+def ablation_dataset(bench_scale):
+    """A smaller world for ablations that retrain the model."""
+    if bench_scale == "ci":
+        return build_dataset(DataConfig.small(seed=9))
+    return build_dataset(
+        DataConfig(
+            num_users=400,
+            num_events=320,
+            num_pages=80,
+            num_cities=4,
+            audience_size=35,
+            seed=9,
+        )
+    )
+
+
+def ablation_training(bench_scale: str) -> TrainingConfig:
+    if bench_scale == "ci":
+        return TrainingConfig(epochs=2, batch_size=32, patience=3, seed=0)
+    return TrainingConfig(
+        epochs=8, batch_size=64, learning_rate=0.015, patience=8, seed=0
+    )
+
+
+def ablation_model_config(bench_scale: str, **overrides) -> JointModelConfig:
+    import dataclasses
+
+    base = (
+        JointModelConfig.small(seed=0)
+        if bench_scale == "ci"
+        else JointModelConfig.bench(seed=0)
+    )
+    return dataclasses.replace(base, **overrides)

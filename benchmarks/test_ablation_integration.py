@@ -1,0 +1,62 @@
+"""Ablation — how representation outputs enter the combiner.
+
+Section 4 discusses two carriers of representation knowledge: the
+similarity score s_θ(u,e) as one numerical feature, or the full
+vectors v_u, v_e "to allow latent topic interaction in the projected
+space".  Table 1 shows vectors ≈ vectors+score at production scale.
+
+This bench compares three GBDT combiners fed only representation
+outputs: score alone, vectors alone, and both.  (Cheap: reuses the
+session-trained model, only the combiner is refit.)
+"""
+
+from repro.features.pipeline import FeatureSetConfig
+
+from .conftest import write_result
+
+
+def test_integration_carriers(benchmark, prepared_experiment, bench_scale):
+    settings = {
+        "score only": FeatureSetConfig(
+            include_base=False,
+            include_cf=False,
+            include_representation=False,
+            include_similarity_score=True,
+            name="score only",
+        ),
+        "vectors only": FeatureSetConfig(
+            include_base=False,
+            include_cf=False,
+            include_representation=True,
+            name="vectors only",
+        ),
+        "vectors + score": FeatureSetConfig(
+            include_base=False,
+            include_cf=False,
+            include_representation=True,
+            include_similarity_score=True,
+            name="vectors + score",
+        ),
+    }
+
+    def run_all():
+        return {
+            name: prepared_experiment.run(setting).report
+            for name, setting in settings.items()
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["ABLATION — representation integration carriers (GBDT on rep outputs only)"]
+    for name, report in reports.items():
+        lines.append(
+            f"  {name:<16} PR60={report.pr60:.3f} PR80={report.pr80:.3f} "
+            f"AUC={report.auc:.3f}"
+        )
+    text = "\n".join(lines)
+    write_result("ablation_integration", text)
+    print("\n" + text)
+
+    if bench_scale == "ci":
+        return
+    for name, report in reports.items():
+        assert report.auc > 0.5, f"{name} carries no signal"

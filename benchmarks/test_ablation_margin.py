@@ -1,0 +1,38 @@
+"""Ablation — sensitivity to the contrastive margin θ_r.
+
+Paper, Section 3.2.1: "We found that the training is not very
+sensitive to the choice of θ_r and we use zero for all experiments."
+
+Reproduction: train with θ_r ∈ {0, 0.2} and check the evaluation AUC
+moves by only a small amount.
+"""
+
+import dataclasses
+
+from ._ablation import train_and_eval_raw_auc
+from .conftest import ablation_model_config, ablation_training, write_result
+
+
+def test_margin_insensitivity(benchmark, ablation_dataset, bench_scale):
+    training = ablation_training(bench_scale)
+
+    def run_both():
+        aucs = {}
+        for margin in (0.0, 0.2):
+            config = ablation_model_config(bench_scale, margin=margin)
+            aucs[margin], _ = train_and_eval_raw_auc(
+                ablation_dataset, config, training
+            )
+        return aucs
+
+    aucs = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report = "ABLATION — contrastive margin θ_r\n" + "\n".join(
+        f"  θ_r = {margin:<4} → raw-similarity eval AUC = {auc:.4f}"
+        for margin, auc in aucs.items()
+    )
+    write_result("ablation_margin", report)
+    print("\n" + report)
+
+    if bench_scale == "ci":
+        return
+    assert abs(aucs[0.0] - aucs[0.2]) < 0.06, "θ_r should be a minor knob"

@@ -1,0 +1,37 @@
+"""Ablation — convolution window sizes.
+
+Paper, Section 3.1.1: "Convolution window size 1, 3, 5 are used for
+the text extraction modules to cover semantic segments of different
+lengths."
+
+Reproduction: compare a unigram-only variant against the full
+{1, 3, 5} set; the multi-window model should match or beat it.
+"""
+
+from .conftest import ablation_model_config, ablation_training, write_result
+from ._ablation import train_and_eval_raw_auc
+
+
+def test_window_size_sets(benchmark, ablation_dataset, bench_scale):
+    training = ablation_training(bench_scale)
+
+    def run_all():
+        aucs = {}
+        for windows in ((1,), (1, 3, 5)):
+            config = ablation_model_config(bench_scale, text_windows=windows)
+            aucs[windows], _ = train_and_eval_raw_auc(
+                ablation_dataset, config, training
+            )
+        return aucs
+
+    aucs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report = "ABLATION — text convolution window sets\n" + "\n".join(
+        f"  windows {str(windows):<10} → raw-similarity eval AUC = {auc:.4f}"
+        for windows, auc in aucs.items()
+    )
+    write_result("ablation_windows", report)
+    print("\n" + report)
+
+    if bench_scale == "ci":
+        return
+    assert aucs[(1, 3, 5)] >= aucs[(1,)] - 0.03

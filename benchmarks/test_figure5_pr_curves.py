@@ -1,0 +1,40 @@
+"""Figure 5 — P/R curves for the Table-1 integration settings.
+
+The paper plots precision/recall for the four integration settings and
+highlights the high-recall region ("we focus on high recall region as
+recommendation diversity is highly important").  The bench times the
+curve computation + rendering and writes the ASCII figure; the shape
+assertion checks that the representation-augmented configuration
+dominates the baseline in the high-recall region.
+"""
+
+import numpy as np
+
+from repro.eval.metrics import pr_curve
+from repro.eval.reporting import render_pr_curves
+
+from .conftest import write_result
+
+
+def test_figure5_pr_curves(benchmark, table1_results, bench_scale):
+    def compute():
+        for result in table1_results.values():
+            pr_curve(result.labels, result.scores)
+        return render_pr_curves(table1_results)
+
+    figure = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report = "FIGURE 5 — P/R curves, integration settings (reproduced)\n" + figure
+    write_result("figure5_pr_curves", report)
+    print("\n" + report)
+
+    if bench_scale == "ci":
+        return
+    # High-recall dominance: precision at recall ≥ 0.8.
+    augmented = table1_results["Add Rep. Vectors"].curve.precision_at(0.8)
+    baseline = table1_results["Baseline"].curve.precision_at(0.8)
+    assert augmented > baseline - 0.01
+
+    # Curves are proper: precision bounded, recall reaches 1.
+    for result in table1_results.values():
+        assert result.curve.recall[-1] == 1.0
+        assert np.all(result.curve.precision <= 1.0)

@@ -1,0 +1,33 @@
+"""Figure 6 — P/R curves for the Table-2 feature combinations.
+
+Companion to Figure 5, over the feature-set decomposition: base only,
+base+CF, base+representation, everything.
+"""
+
+import numpy as np
+
+from repro.eval.metrics import pr_curve
+from repro.eval.reporting import render_pr_curves
+
+from .conftest import write_result
+
+
+def test_figure6_pr_curves(benchmark, table2_results, bench_scale):
+    def compute():
+        for result in table2_results.values():
+            pr_curve(result.labels, result.scores)
+        return render_pr_curves(table2_results)
+
+    figure = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report = "FIGURE 6 — P/R curves, feature combinations (reproduced)\n" + figure
+    write_result("figure6_pr_curves", report)
+    print("\n" + report)
+
+    if bench_scale == "ci":
+        return
+    # The all-features curve dominates the base-only curve across the
+    # operating points the paper reports.
+    base_only = table2_results["Base Features (No-CF)"].curve
+    everything = table2_results["All Features"].curve
+    for recall in (0.6, 0.8):
+        assert everything.precision_at(recall) >= base_only.precision_at(recall) - 0.01

@@ -1,0 +1,50 @@
+"""Serving-path microbenchmarks (paper Section 4).
+
+The production argument for caching: tower inference is the expensive
+step, cosine over cached vectors is nearly free.  These benches
+measure (a) batch event encoding throughput, (b) cold scoring through
+the service, and (c) warm scoring against the cache — the quantity the
+pre-compute design optimizes.
+"""
+
+import numpy as np
+
+from repro.core.service import RepresentationService
+from repro.store.cache import VectorCache
+
+from .conftest import write_result
+
+
+def test_event_encoding_throughput(benchmark, prepared_experiment, bench_dataset):
+    model = prepared_experiment.model
+    encoder = prepared_experiment.encoder
+    encoded = [
+        encoder.encode_event(event) for event in bench_dataset.events[:200]
+    ]
+
+    vectors = benchmark(model.encode_events, encoded, 128)
+    assert vectors.shape[0] == len(encoded)
+
+
+def test_warm_vs_cold_scoring(benchmark, prepared_experiment, bench_dataset):
+    model = prepared_experiment.model
+    service = RepresentationService(model, VectorCache())
+    users = bench_dataset.users[:50]
+    events = bench_dataset.events[:50]
+    service.warm(users, events)
+
+    def score_warm():
+        total = 0.0
+        for user, event in zip(users, events):
+            total += service.score(user, event)
+        return total
+
+    benchmark(score_warm)
+    stats = service.cache.stats
+    write_result(
+        "serving_cache",
+        "SERVING — cache effectiveness\n"
+        f"  lookups={stats.lookups} hits={stats.hits} "
+        f"hit_rate={stats.hit_rate:.3f}",
+    )
+    assert stats.hit_rate > 0.9

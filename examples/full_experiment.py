@@ -1,0 +1,86 @@
+"""The paper's full evaluation pipeline at a reduced scale.
+
+Runs everything Section 5 describes: synthetic impression log →
+4w+1w+1w split → joint representation training (with Siamese init) →
+GBDT combiners under the Table-1 and Table-2 feature settings →
+PR60/PR80/AUC tables and ASCII P/R curves (Figures 5 & 6).
+
+This is the small sibling of the benchmark harness; expect a few
+minutes of wall-clock.  For the full-scale numbers see
+``pytest benchmarks/``.
+
+Run:  python examples/full_experiment.py
+"""
+
+import time
+
+from repro.core import JointModelConfig, TrainingConfig
+from repro.datagen import DataConfig, build_dataset
+from repro.eval import (
+    TwoStageExperiment,
+    format_importances,
+    format_table,
+    render_pr_curves,
+)
+from repro.gbdt import GBDTConfig
+
+
+def main() -> None:
+    started = time.time()
+    print("Building dataset ...")
+    dataset = build_dataset(
+        DataConfig(
+            num_users=400,
+            num_events=320,
+            num_pages=80,
+            num_cities=4,
+            audience_size=35,
+            seed=5,
+        )
+    )
+    print(f"  {len(dataset.impressions)} impressions")
+
+    experiment = TwoStageExperiment(
+        dataset,
+        model_config=JointModelConfig(
+            embedding_dim=16,
+            module_dim=16,
+            hidden_dim=32,
+            representation_dim=16,
+            dtype="float32",
+            seed=0,
+        ),
+        training_config=TrainingConfig(
+            epochs=10, batch_size=64, learning_rate=0.015, patience=4, seed=0
+        ),
+        gbdt_config=GBDTConfig(num_trees=120, max_leaves=12),
+        use_siamese_init=True,
+    )
+    print("Training representation model ...")
+    experiment.prepare()
+    history = experiment.training_history
+    print(
+        f"  {history.epochs_run} epochs "
+        f"(early stop: {history.stopped_early}), "
+        f"{time.time() - started:.0f}s elapsed"
+    )
+
+    print("\nRunning Table-1 settings ...")
+    table1 = experiment.run_table1()
+    print(format_table(table1, "TABLE 1 — integration settings"))
+    print("\nFigure 5 — P/R curves")
+    print(render_pr_curves(table1))
+
+    print("\nRunning Table-2 settings ...")
+    table2 = experiment.run_table2()
+    print(format_table(table2, "TABLE 2 — feature combinations"))
+    print("\nFigure 6 — P/R curves")
+    print(render_pr_curves(table2))
+
+    print()
+    print(format_importances(table2["All Features"], top_k=10))
+    print(f"\nTotal wall-clock: {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+that lack the `wheel` package (configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

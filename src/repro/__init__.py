@@ -1,0 +1,58 @@
+"""repro — reproduction of "Joint User-Entity Representation Learning
+for Event Recommendation in Social Network" (Tang & Liu, ICDE 2017).
+
+Top-level convenience re-exports; see the subpackages for the full
+API:
+
+* :mod:`repro.core` — the joint CNN representation model.
+* :mod:`repro.nn` — the numpy neural-network substrate.
+* :mod:`repro.text` — tokenizers, vocabularies, document encoding.
+* :mod:`repro.datagen` — the synthetic social-network event world.
+* :mod:`repro.features` — the combiner feature pipeline.
+* :mod:`repro.gbdt` — gradient-boosted decision trees.
+* :mod:`repro.baselines` — LDA / PLSA / TF-IDF / popularity baselines.
+* :mod:`repro.eval` — metrics and the two-stage experiment protocol.
+* :mod:`repro.store` — the serving-time representation cache.
+"""
+
+from repro.core import (
+    JointModelConfig,
+    JointUserEventModel,
+    RepresentationService,
+    RepresentationTrainer,
+    SiameseEventInitializer,
+    SimilarEventIndex,
+    TrainingConfig,
+)
+from repro.datagen import DataConfig, EventRecDataset, build_dataset
+from repro.entities import Event, Impression, User
+from repro.eval import TwoStageExperiment, evaluate_scores, roc_auc
+from repro.features import FeatureSetConfig
+from repro.gbdt import GBDTClassifier, GBDTConfig
+from repro.text import DocumentEncoder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataConfig",
+    "DocumentEncoder",
+    "Event",
+    "EventRecDataset",
+    "FeatureSetConfig",
+    "GBDTClassifier",
+    "GBDTConfig",
+    "Impression",
+    "JointModelConfig",
+    "JointUserEventModel",
+    "RepresentationService",
+    "RepresentationTrainer",
+    "SiameseEventInitializer",
+    "SimilarEventIndex",
+    "TrainingConfig",
+    "TwoStageExperiment",
+    "User",
+    "build_dataset",
+    "evaluate_scores",
+    "roc_auc",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling.
+
+One of the two bag-of-words semantic models the paper contrasts its
+CNN representation against (Sections 1-2): topics are word
+multinomials, documents are topic mixtures, and — critically — a user
+can only be embedded in the same space by *aggregating documents of
+the same type*, the homogeneity restriction the paper identifies as
+an information bottleneck.
+
+This is a compact, dependency-free collapsed Gibbs implementation
+(Griffiths & Steyvers); adequate for corpora of a few thousand short
+documents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.text.normalize import split_words
+
+__all__ = ["LdaModel"]
+
+
+class LdaModel:
+    """Collapsed-Gibbs LDA over raw text documents."""
+
+    def __init__(
+        self,
+        num_topics: int = 12,
+        alpha: float = 0.1,
+        beta: float = 0.01,
+        num_iterations: int = 100,
+        min_df: int = 2,
+        seed: int = 0,
+    ):
+        if num_topics < 2:
+            raise ValueError(f"num_topics must be >= 2, got {num_topics}")
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        self.num_topics = num_topics
+        self.alpha = alpha
+        self.beta = beta
+        self.num_iterations = num_iterations
+        self.min_df = min_df
+        self.seed = seed
+        self._word_to_id: dict[str, int] | None = None
+        self.topic_word: np.ndarray | None = None  # (topics, vocab) counts
+        self.topic_totals: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.topic_word is not None
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._word_to_id) if self._word_to_id else 0
+
+    def _encode(self, document: str) -> np.ndarray:
+        assert self._word_to_id is not None
+        ids = [
+            self._word_to_id[word]
+            for word in split_words(document)
+            if word in self._word_to_id
+        ]
+        return np.asarray(ids, dtype=np.int64)
+
+    def fit(self, documents: Sequence[str]) -> "LdaModel":
+        """Run collapsed Gibbs sampling over the corpus."""
+        if not documents:
+            raise ValueError("cannot fit on an empty corpus")
+        # Build vocabulary with DF filter.
+        df: dict[str, int] = {}
+        tokenized = [split_words(document) for document in documents]
+        for words in tokenized:
+            for word in set(words):
+                df[word] = df.get(word, 0) + 1
+        vocabulary = sorted(word for word, count in df.items() if count >= self.min_df)
+        if not vocabulary:
+            raise ValueError("vocabulary empty after DF filtering; lower min_df")
+        self._word_to_id = {word: index for index, word in enumerate(vocabulary)}
+
+        doc_words = [
+            np.asarray(
+                [self._word_to_id[w] for w in words if w in self._word_to_id],
+                dtype=np.int64,
+            )
+            for words in tokenized
+        ]
+        rng = np.random.default_rng(self.seed)
+        num_docs = len(doc_words)
+        vocab_size = len(vocabulary)
+        topic_word = np.zeros((self.num_topics, vocab_size), dtype=np.float64)
+        doc_topic = np.zeros((num_docs, self.num_topics), dtype=np.float64)
+        topic_totals = np.zeros(self.num_topics, dtype=np.float64)
+        assignments = [
+            rng.integers(self.num_topics, size=words.size) for words in doc_words
+        ]
+        for doc, (words, topics) in enumerate(zip(doc_words, assignments)):
+            for word, topic in zip(words, topics):
+                topic_word[topic, word] += 1
+                doc_topic[doc, topic] += 1
+                topic_totals[topic] += 1
+
+        for _ in range(self.num_iterations):
+            for doc, words in enumerate(doc_words):
+                topics = assignments[doc]
+                for position, word in enumerate(words):
+                    old_topic = topics[position]
+                    topic_word[old_topic, word] -= 1
+                    doc_topic[doc, old_topic] -= 1
+                    topic_totals[old_topic] -= 1
+                    weights = (
+                        (topic_word[:, word] + self.beta)
+                        / (topic_totals + self.beta * vocab_size)
+                        * (doc_topic[doc] + self.alpha)
+                    )
+                    weights /= weights.sum()
+                    new_topic = int(rng.choice(self.num_topics, p=weights))
+                    topics[position] = new_topic
+                    topic_word[new_topic, word] += 1
+                    doc_topic[doc, new_topic] += 1
+                    topic_totals[new_topic] += 1
+        self.topic_word = topic_word
+        self.topic_totals = topic_totals
+        return self
+
+    def infer(self, document: str, num_iterations: int = 30) -> np.ndarray:
+        """Fold in one document: posterior topic mixture."""
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted")
+        words = self._encode(document)
+        if words.size == 0:
+            return np.full(self.num_topics, 1.0 / self.num_topics)
+        rng = np.random.default_rng(self.seed + 1)
+        vocab_size = self.topic_word.shape[1]
+        word_prob = (self.topic_word + self.beta) / (
+            self.topic_totals[:, None] + self.beta * vocab_size
+        )
+        counts = np.zeros(self.num_topics)
+        topics = rng.integers(self.num_topics, size=words.size)
+        for topic in topics:
+            counts[topic] += 1
+        for _ in range(num_iterations):
+            for position, word in enumerate(words):
+                counts[topics[position]] -= 1
+                weights = word_prob[:, word] * (counts + self.alpha)
+                weights /= weights.sum()
+                new_topic = int(rng.choice(self.num_topics, p=weights))
+                topics[position] = new_topic
+                counts[new_topic] += 1
+        mixture = counts + self.alpha
+        return mixture / mixture.sum()
+
+    def top_words(self, topic: int, count: int = 10) -> list[str]:
+        """Most probable words of a topic (for inspection)."""
+        if not self.is_fitted or self._word_to_id is None:
+            raise RuntimeError("model is not fitted")
+        id_to_word = {index: word for word, index in self._word_to_id.items()}
+        order = np.argsort(-self.topic_word[topic])[:count]
+        return [id_to_word[int(index)] for index in order]

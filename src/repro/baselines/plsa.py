@@ -1,0 +1,142 @@
+"""Probabilistic Latent Semantic Analysis via EM.
+
+The second bag-of-words semantic model the paper contrasts against
+(Hofmann, SIGIR '99).  Topics are word multinomials P(w|z); each
+training document has a mixture P(z|d) fit by EM; unseen documents are
+folded in by re-running the E/M update with topics frozen.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.text.normalize import split_words
+
+__all__ = ["PlsaModel"]
+
+
+class PlsaModel:
+    """EM-trained PLSA over raw text documents."""
+
+    def __init__(
+        self,
+        num_topics: int = 12,
+        num_iterations: int = 50,
+        min_df: int = 2,
+        smoothing: float = 1.0e-3,
+        seed: int = 0,
+    ):
+        if num_topics < 2:
+            raise ValueError(f"num_topics must be >= 2, got {num_topics}")
+        self.num_topics = num_topics
+        self.num_iterations = num_iterations
+        self.min_df = min_df
+        self.smoothing = smoothing
+        self.seed = seed
+        self._word_to_id: dict[str, int] | None = None
+        self.word_given_topic: np.ndarray | None = None  # (topics, vocab)
+        self.log_likelihoods: list[float] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.word_given_topic is not None
+
+    def _count_matrix(
+        self, documents: Sequence[str], build_vocab: bool
+    ) -> np.ndarray:
+        tokenized = [split_words(document) for document in documents]
+        if build_vocab:
+            df: dict[str, int] = {}
+            for words in tokenized:
+                for word in set(words):
+                    df[word] = df.get(word, 0) + 1
+            vocabulary = sorted(
+                word for word, count in df.items() if count >= self.min_df
+            )
+            if not vocabulary:
+                raise ValueError("vocabulary empty after DF filtering")
+            self._word_to_id = {
+                word: index for index, word in enumerate(vocabulary)
+            }
+        assert self._word_to_id is not None
+        counts = np.zeros((len(documents), len(self._word_to_id)))
+        for row, words in enumerate(tokenized):
+            for word in words:
+                column = self._word_to_id.get(word)
+                if column is not None:
+                    counts[row, column] += 1.0
+        return counts
+
+    def _em(
+        self,
+        counts: np.ndarray,
+        word_given_topic: np.ndarray,
+        topic_given_doc: np.ndarray,
+        num_iterations: int,
+        update_topics: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run EM; optionally freeze the topic-word distributions."""
+        eps = 1.0e-12
+        self.log_likelihoods = []
+        for _ in range(num_iterations):
+            # E-step folded into M-step accumulators:
+            # P(z|d,w) ∝ P(w|z) P(z|d)
+            mixture = topic_given_doc @ word_given_topic  # (docs, vocab)
+            mixture = np.maximum(mixture, eps)
+            ratio = counts / mixture  # (docs, vocab)
+            # New topic_given_doc ∝ Σ_w counts · P(z|d,w)
+            new_topic_doc = topic_given_doc * (ratio @ word_given_topic.T)
+            new_topic_doc += self.smoothing
+            new_topic_doc /= new_topic_doc.sum(axis=1, keepdims=True)
+            if update_topics:
+                new_word_topic = word_given_topic * (topic_given_doc.T @ ratio)
+                new_word_topic += self.smoothing
+                new_word_topic /= new_word_topic.sum(axis=1, keepdims=True)
+                word_given_topic = new_word_topic
+            topic_given_doc = new_topic_doc
+            log_likelihood = float(
+                (counts * np.log(np.maximum(topic_given_doc @ word_given_topic, eps))).sum()
+            )
+            self.log_likelihoods.append(log_likelihood)
+        return word_given_topic, topic_given_doc
+
+    def fit(self, documents: Sequence[str]) -> "PlsaModel":
+        """Fit topic-word distributions on the corpus."""
+        if not documents:
+            raise ValueError("cannot fit on an empty corpus")
+        counts = self._count_matrix(documents, build_vocab=True)
+        rng = np.random.default_rng(self.seed)
+        word_given_topic = rng.dirichlet(
+            np.ones(counts.shape[1]), size=self.num_topics
+        )
+        topic_given_doc = rng.dirichlet(
+            np.ones(self.num_topics), size=counts.shape[0]
+        )
+        self.word_given_topic, _ = self._em(
+            counts,
+            word_given_topic,
+            topic_given_doc,
+            self.num_iterations,
+            update_topics=True,
+        )
+        return self
+
+    def infer(self, document: str, num_iterations: int = 30) -> np.ndarray:
+        """Fold-in: topic mixture of an unseen document."""
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted")
+        counts = self._count_matrix([document], build_vocab=False)
+        if counts.sum() == 0:
+            return np.full(self.num_topics, 1.0 / self.num_topics)
+        rng = np.random.default_rng(self.seed + 1)
+        topic_given_doc = rng.dirichlet(np.ones(self.num_topics), size=1)
+        _, topic_given_doc = self._em(
+            counts,
+            self.word_given_topic,
+            topic_given_doc,
+            num_iterations,
+            update_topics=False,
+        )
+        return topic_given_doc[0]

@@ -1,0 +1,84 @@
+"""Popularity / recency scoring baselines.
+
+The weakest sensible recommenders: rank events by how many people have
+joined so far (optionally time-decayed), or users' propensity to join
+anything.  They anchor the low end of every comparison and expose the
+transiency problem — a brand-new event has no popularity to rank by.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.entities import Event, Impression
+
+__all__ = ["PopularityModel"]
+
+
+class PopularityModel:
+    """Event-popularity and user-propensity scores from history."""
+
+    def __init__(self, recency_halflife_hours: float | None = None):
+        self.recency_halflife_hours = recency_halflife_hours
+        self._event_joins: dict[int, float] = {}
+        self._user_joins: dict[int, int] = {}
+        self._user_impressions: dict[int, int] = {}
+        self._global_rate: float = 0.0
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, history: Sequence[Impression]) -> "PopularityModel":
+        """Accumulate join counts from historical impressions."""
+        if not history:
+            raise ValueError("need history to fit")
+        reference_time = max(impression.shown_at for impression in history)
+        positives = 0
+        for impression in history:
+            self._user_impressions[impression.user_id] = (
+                self._user_impressions.get(impression.user_id, 0) + 1
+            )
+            if not impression.participated:
+                continue
+            positives += 1
+            weight = 1.0
+            if self.recency_halflife_hours is not None:
+                age = reference_time - impression.shown_at
+                weight = 0.5 ** (age / self.recency_halflife_hours)
+            self._event_joins[impression.event_id] = (
+                self._event_joins.get(impression.event_id, 0.0) + weight
+            )
+            self._user_joins[impression.user_id] = (
+                self._user_joins.get(impression.user_id, 0) + 1
+            )
+        self._global_rate = positives / len(history)
+        self._fitted = True
+        return self
+
+    def event_popularity(self, event: Event) -> float:
+        """Log-scaled join count; zero for cold (new) events."""
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        return float(np.log1p(self._event_joins.get(event.event_id, 0.0)))
+
+    def user_propensity(self, user_id: int) -> float:
+        """Smoothed per-user join rate."""
+        if not self._fitted:
+            raise RuntimeError("model is not fitted")
+        joins = self._user_joins.get(user_id, 0)
+        impressions = self._user_impressions.get(user_id, 0)
+        # Beta-binomial shrinkage toward the global rate.
+        return (joins + 5.0 * self._global_rate) / (impressions + 5.0)
+
+    def score(self, user_id: int, event: Event) -> float:
+        """Popularity × propensity ranking score."""
+        return self.event_popularity(event) + self.user_propensity(user_id)
+
+    def score_pairs(self, pairs: Sequence[tuple[int, Event]]) -> np.ndarray:
+        return np.asarray(
+            [self.score(user_id, event) for user_id, event in pairs]
+        )

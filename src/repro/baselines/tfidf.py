@@ -1,0 +1,90 @@
+"""TF-IDF bag-of-words matching — the retrieval-model baseline.
+
+Section 1 positions "relatively simple retrieval models or semantic
+models such as keyword/tag matching" as what existing event
+recommenders fall back to.  This module implements that baseline: a
+word-level TF-IDF vectorizer with sparse dict vectors and cosine
+scoring.  It doubles as the keyword-match base feature inside the
+combiner's baseline feature set.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.text.normalize import split_words
+
+__all__ = ["SparseVector", "TfIdfVectorizer", "sparse_cosine"]
+
+SparseVector = dict[str, float]
+
+
+def sparse_cosine(left: SparseVector, right: SparseVector) -> float:
+    """Cosine similarity of two sparse word-weight vectors."""
+    if not left or not right:
+        return 0.0
+    if len(right) < len(left):
+        left, right = right, left
+    dot = sum(weight * right.get(word, 0.0) for word, weight in left.items())
+    if dot == 0.0:
+        return 0.0
+    norm_left = math.sqrt(sum(weight * weight for weight in left.values()))
+    norm_right = math.sqrt(sum(weight * weight for weight in right.values()))
+    return dot / (norm_left * norm_right)
+
+
+class TfIdfVectorizer:
+    """Word-level TF-IDF with smoothed logarithmic IDF.
+
+    IDF is fit on a reference corpus (typically the training events);
+    out-of-corpus words at transform time receive the maximum IDF, so
+    rare novel words stay discriminative.
+    """
+
+    def __init__(self, min_df: int = 1, sublinear_tf: bool = True):
+        if min_df < 1:
+            raise ValueError(f"min_df must be >= 1, got {min_df}")
+        self.min_df = min_df
+        self.sublinear_tf = sublinear_tf
+        self._idf: dict[str, float] | None = None
+        self._default_idf: float = 0.0
+        self.num_documents: int = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._idf is not None
+
+    def fit(self, documents: Iterable[str]) -> "TfIdfVectorizer":
+        """Compute IDF weights from a corpus of raw texts."""
+        df: Counter[str] = Counter()
+        num_documents = 0
+        for document in documents:
+            num_documents += 1
+            df.update(set(split_words(document)))
+        if num_documents == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        self.num_documents = num_documents
+        self._idf = {
+            word: math.log((1 + num_documents) / (1 + count)) + 1.0
+            for word, count in df.items()
+            if count >= self.min_df
+        }
+        self._default_idf = math.log(1 + num_documents) + 1.0
+        return self
+
+    def transform(self, document: str) -> SparseVector:
+        """TF-IDF vector of one raw text."""
+        if self._idf is None:
+            raise RuntimeError("vectorizer is not fitted")
+        counts = Counter(split_words(document))
+        vector: SparseVector = {}
+        for word, count in counts.items():
+            tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+            vector[word] = tf * self._idf.get(word, self._default_idf)
+        return vector
+
+    def similarity(self, document_a: str, document_b: str) -> float:
+        """Cosine TF-IDF similarity of two raw texts."""
+        return sparse_cosine(self.transform(document_a), self.transform(document_b))

@@ -1,0 +1,82 @@
+"""The convolutional feature extraction module (paper Figure 2).
+
+One module = tokenized input → lookup table → windowed convolution →
+log-sum-exp pooling → fixed-length feature vector.  Modules that read
+the same input source (e.g. the three text modules with windows 1, 3,
+5) share a single lookup table, matching the paper's per-source token
+budget accounting (236k / 78k / 99k table rows for one user-text, one
+user-categorical and one event-text table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.batching import PaddedBatch, window_mask
+from repro.nn.layers import Embedding, WindowedConv
+from repro.nn.params import ParamStore
+from repro.nn.pooling import log_sum_exp_pool, log_sum_exp_pool_backward
+
+__all__ = ["ConvExtractionModule"]
+
+
+class ConvExtractionModule:
+    """Embedding (shared) + windowed convolution + soft-max pooling.
+
+    Args:
+        store: parameter store to register the convolution weights in.
+        name: unique parameter-name prefix.
+        embedding: the (possibly shared) lookup table for this source.
+        window: convolution window size ``d``.
+        out_dim: pooled output dimension (paper: 64).
+        rng: generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        store: ParamStore,
+        name: str,
+        embedding: Embedding,
+        window: int,
+        out_dim: int,
+        rng: np.random.Generator,
+    ):
+        self.name = name
+        self.embedding = embedding
+        self.window = window
+        self.out_dim = out_dim
+        self.conv = WindowedConv(
+            store, name, window, embedding.dim, out_dim, rng
+        )
+
+    def forward(self, batch: PaddedBatch) -> tuple[np.ndarray, dict]:
+        """``(batch of sequences)`` → ``(batch, out_dim)`` pooled features.
+
+        The batch must be padded to at least ``window`` columns
+        (``pad_batch(..., min_length=window)``).
+        """
+        token_vectors, emb_cache = self.embedding.forward(batch.ids)
+        window_values, conv_cache = self.conv.forward(token_vectors)
+        valid = window_mask(batch.mask, self.window)
+        pooled, pool_cache = log_sum_exp_pool(window_values, valid)
+        cache = {
+            "emb": emb_cache,
+            "conv": conv_cache,
+            "pool": pool_cache,
+        }
+        return pooled, cache
+
+    def backward(self, grad_out: np.ndarray, cache: dict) -> None:
+        """Accumulate gradients into the conv weights and lookup table."""
+        grad_windows = log_sum_exp_pool_backward(grad_out, cache["pool"])
+        grad_tokens = self.conv.backward(grad_windows, cache["conv"])
+        self.embedding.backward(grad_tokens, cache["emb"])
+
+    def pooling_attribution(self, cache: dict) -> np.ndarray:
+        """Softmax window weights from the last forward pass.
+
+        Shape ``(batch, windows, out_dim)`` — the share of each pooled
+        output dimension attributable to each window.  Used by the
+        Figure-7 trace-back analysis.
+        """
+        return cache["pool"]["weights"]

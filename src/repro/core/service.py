@@ -1,0 +1,163 @@
+"""Serving-path facade: cached encoding + scoring + ranking.
+
+Section 4 of the paper describes the production serving design:
+representation vectors are pre-computed once per entity, cached, and
+only recomputed "upon creation and important information change".
+:class:`RepresentationService` implements that path on top of a
+trained :class:`~repro.core.model.JointUserEventModel` and a
+:class:`~repro.store.VectorCache`, and exposes the recommendation
+primitive — rank the *currently active* events for a user.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import JointUserEventModel
+from repro.entities import Event, User
+from repro.store.cache import VectorCache
+
+__all__ = ["ScoredEvent", "RepresentationService"]
+
+_EPS = 1.0e-12
+
+
+@dataclass(frozen=True)
+class ScoredEvent:
+    """One ranked recommendation candidate."""
+
+    event: Event
+    score: float
+
+
+def _fingerprint(payload: dict) -> str:
+    """Stable content hash used as the cache version tag."""
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+class RepresentationService:
+    """Cached user/event encoding and cosine scoring."""
+
+    USER_KIND = "user"
+    EVENT_KIND = "event"
+
+    def __init__(
+        self,
+        model: JointUserEventModel,
+        cache: VectorCache | None = None,
+    ):
+        self.model = model
+        self.cache = cache if cache is not None else VectorCache()
+
+    # ------------------------------------------------------------------
+    # vectors
+    # ------------------------------------------------------------------
+
+    def user_version(self, user: User) -> str:
+        """Version tag covering every model-visible user attribute."""
+        return _fingerprint(user.to_dict())
+
+    def event_version(self, event: Event) -> str:
+        """Version tag covering the event's model-visible text."""
+        return _fingerprint(
+            {
+                "title": event.title,
+                "description": event.description,
+                "category": event.category,
+            }
+        )
+
+    def user_vector(self, user: User) -> np.ndarray:
+        """v_u, from cache when current, recomputed otherwise."""
+        version = self.user_version(user)
+        cached = self.cache.get(self.USER_KIND, user.user_id, version)
+        if cached is not None:
+            return cached
+        encoded = self.model.encoder.encode_user(user)
+        vector = self.model.encode_users([encoded])[0]
+        self.cache.put(self.USER_KIND, user.user_id, version, vector)
+        return vector
+
+    def event_vector(self, event: Event) -> np.ndarray:
+        """v_e, from cache when current, recomputed otherwise."""
+        version = self.event_version(event)
+        cached = self.cache.get(self.EVENT_KIND, event.event_id, version)
+        if cached is not None:
+            return cached
+        encoded = self.model.encoder.encode_event(event)
+        vector = self.model.encode_events([encoded])[0]
+        self.cache.put(self.EVENT_KIND, event.event_id, version, vector)
+        return vector
+
+    def warm(self, users: Sequence[User], events: Sequence[Event]) -> None:
+        """Batch-precompute vectors for a cohort (the production
+        "computed upon creation" path)."""
+        if users:
+            encoded = [self.model.encoder.encode_user(user) for user in users]
+            vectors = self.model.encode_users(encoded)
+            for user, vector in zip(users, vectors):
+                self.cache.put(
+                    self.USER_KIND, user.user_id, self.user_version(user), vector
+                )
+        if events:
+            encoded = [self.model.encoder.encode_event(event) for event in events]
+            vectors = self.model.encode_events(encoded)
+            for event, vector in zip(events, vectors):
+                self.cache.put(
+                    self.EVENT_KIND,
+                    event.event_id,
+                    self.event_version(event),
+                    vector,
+                )
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def score(self, user: User, event: Event) -> float:
+        """s_θ(u, e): cosine of the cached representation vectors."""
+        user_vec = self.user_vector(user)
+        event_vec = self.event_vector(event)
+        denom = (
+            np.sqrt((user_vec * user_vec).sum())
+            * np.sqrt((event_vec * event_vec).sum())
+            + _EPS
+        )
+        return float(user_vec @ event_vec / denom)
+
+    def rank_events(
+        self,
+        user: User,
+        events: Sequence[Event],
+        at_time: float | None = None,
+        top_k: int | None = None,
+    ) -> list[ScoredEvent]:
+        """Rank candidate events for a user by representation score.
+
+        Args:
+            user: the user to recommend for.
+            events: candidate pool.
+            at_time: if given, events not active at this time are
+                excluded (expired events "are no longer eligible for
+                any further consideration", Section 1).
+            top_k: truncate the ranking.
+        """
+        candidates = [
+            event
+            for event in events
+            if at_time is None or event.is_active(at_time)
+        ]
+        scored = [
+            ScoredEvent(event=event, score=self.score(user, event))
+            for event in candidates
+        ]
+        scored.sort(key=lambda item: (-item.score, item.event.event_id))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored

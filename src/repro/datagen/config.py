@@ -1,0 +1,133 @@
+"""Configuration of the synthetic world.
+
+The generator is the stand-in for the paper's production traffic
+sample (Section 5.1: 6 weeks of impressions, ~1:4 positive:negative
+after down-sampling, date-disjoint 4w+1w+1w splits).  Every knob that
+shapes the statistics the paper relies on — event transiency, per-user
+sparsity, topic-driven participation, social influence — is explicit
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DataConfig", "HOURS_PER_WEEK"]
+
+HOURS_PER_WEEK = 7 * 24
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """All knobs of the synthetic data generator.
+
+    Population:
+        num_users / num_events / num_pages / num_cities: world sizes.
+        map_size: side length of the square city map.
+
+    Timeline:
+        weeks: total dataset window (paper: 6).
+        event_lifespan_median_hours / sigma: log-normal lifespan of an
+            event from creation to start — short lifespans are the
+            transiency the paper is built around.
+
+    Text:
+        user-side keyword/page counts and event description lengths.
+
+    Behaviour (ground-truth participation utility):
+        participation probability is
+        ``sigmoid(bias + w_topic·affinity + w_social·friend_frac +
+        w_distance·proximity + w_pop·popularity + noise)``.
+
+    Sampling:
+        audience_size: users impressed per event.
+        audience_topic_bias: how strongly the (production-recommender
+            stand-in) exposure process favours topically matched users.
+        negative_ratio: negatives kept per positive after
+            down-sampling (paper: 4).
+    """
+
+    # population
+    num_users: int = 3000
+    num_events: int = 2000
+    num_pages: int = 240
+    num_cities: int = 8
+    map_size: float = 100.0
+
+    # timeline
+    weeks: int = 6
+    event_lifespan_median_hours: float = 72.0
+    event_lifespan_sigma: float = 0.8
+    max_lifespan_hours: float = 21 * 24.0
+
+    # users
+    min_user_topics: int = 2
+    max_user_topics: int = 4
+    min_keywords: int = 4
+    max_keywords: int = 10
+    min_pages_per_user: int = 4
+    max_pages_per_user: int = 10
+    mean_friends: float = 14.0
+    friend_city_bonus: float = 1.5
+    friend_topic_weight: float = 2.5
+
+    # events
+    min_description_words: int = 8
+    max_description_words: int = 60
+    event_offtopic_word_rate: float = 0.1
+
+    # behaviour
+    utility_bias: float = -3.4
+    w_topic: float = 5.0
+    w_social: float = 0.9
+    w_distance: float = 1.0
+    w_popularity: float = 0.4
+    utility_noise: float = 0.45
+    distance_scale: float = 18.0
+
+    # impression sampling
+    audience_size: int = 60
+    audience_topic_bias: float = 0.5
+    audience_friend_fraction: float = 0.18
+    audience_local_fraction: float = 0.35
+    negative_ratio: float = 4.0
+
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_users < 2 or self.num_events < 2:
+            raise ValueError("need at least 2 users and 2 events")
+        if self.weeks < 3:
+            raise ValueError("need >= 3 weeks for the 4+1+1-style split")
+        if self.negative_ratio <= 0:
+            raise ValueError("negative_ratio must be positive")
+        if not 0 <= self.audience_friend_fraction + self.audience_local_fraction <= 1:
+            raise ValueError("audience fractions must sum to <= 1")
+
+    @property
+    def total_hours(self) -> float:
+        return self.weeks * HOURS_PER_WEEK
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "DataConfig":
+        """Tiny world for unit tests (runs in ~a second)."""
+        return cls(
+            num_users=120,
+            num_events=80,
+            num_pages=40,
+            num_cities=3,
+            audience_size=20,
+            seed=seed,
+        )
+
+    @classmethod
+    def bench(cls, seed: int = 0) -> "DataConfig":
+        """Mid-size world for the benchmark harness."""
+        return cls(
+            num_users=800,
+            num_events=600,
+            num_pages=120,
+            num_cities=5,
+            audience_size=45,
+            seed=seed,
+        )

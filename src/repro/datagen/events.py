@@ -1,0 +1,148 @@
+"""Event generation.
+
+Events are the transient items of the paper: created at some time,
+gone once they start.  Each event carries a single dominant ground-
+truth topic (occasionally two), a subtopic word cluster, and text
+composed from the cluster's vocabulary interleaved with stop words —
+so the *only* reliable semantic signal is in the content words, as in
+real event descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.config import DataConfig
+from repro.datagen.topics import TopicModel
+from repro.entities import Event
+
+__all__ = ["EventWorld", "generate_events"]
+
+
+@dataclass
+class EventWorld:
+    """Events plus the latent ground truth needed by the simulator."""
+
+    events: list[Event]
+    mixtures: np.ndarray  # (num_events, num_topics)
+    topic_index: np.ndarray  # (num_events,) dominant topic
+    cluster_index: np.ndarray  # (num_events,) subtopic cluster
+
+
+def _compose_description(
+    topic_model: TopicModel,
+    rng: np.random.Generator,
+    topic: int,
+    cluster: int,
+    num_words: int,
+    offtopic_rate: float,
+) -> str:
+    """Interleave topic words with stop words and occasional noise."""
+    words: list[str] = []
+    while len(words) < num_words:
+        roll = rng.random()
+        if roll < 0.35:
+            words.extend(topic_model.sample_stopwords(rng, 1))
+        elif roll < 0.35 + offtopic_rate:
+            other = int(rng.integers(topic_model.num_topics))
+            words.extend(topic_model.sample_words(rng, other, count=1))
+        else:
+            words.extend(
+                topic_model.sample_words(
+                    rng,
+                    topic,
+                    count=1,
+                    cluster_index=cluster,
+                    cluster_loyalty=0.85,
+                )
+            )
+    return " ".join(words[:num_words])
+
+
+def generate_events(
+    topic_model: TopicModel,
+    config: DataConfig,
+    city_centers: np.ndarray,
+    num_users: int,
+    rng: np.random.Generator,
+) -> EventWorld:
+    """Sample the event population across the dataset timeline."""
+    num_topics = topic_model.num_topics
+    events: list[Event] = []
+    mixtures = np.zeros((config.num_events, num_topics))
+    topic_index = np.zeros(config.num_events, dtype=np.int64)
+    cluster_index = np.zeros(config.num_events, dtype=np.int64)
+
+    for event_id in range(config.num_events):
+        topic = int(rng.integers(num_topics))
+        cluster = topic_model.sample_cluster(rng, topic)
+        mixture = np.zeros(num_topics)
+        if rng.random() < 0.15:
+            # Occasionally a two-topic event (e.g. food + music festival).
+            second = int(rng.integers(num_topics - 1))
+            if second >= topic:
+                second += 1
+            share = rng.uniform(0.6, 0.9)
+            mixture[topic] = share
+            mixture[second] = 1.0 - share
+        else:
+            mixture[topic] = 1.0
+        mixtures[event_id] = mixture
+        topic_index[event_id] = topic
+        cluster_index[event_id] = cluster
+
+        lifespan = float(
+            np.clip(
+                rng.lognormal(
+                    mean=np.log(config.event_lifespan_median_hours),
+                    sigma=config.event_lifespan_sigma,
+                ),
+                12.0,
+                config.max_lifespan_hours,
+            )
+        )
+        created_at = float(rng.uniform(0.0, config.total_hours))
+        starts_at = created_at + lifespan
+
+        title = topic_model.title_for(rng, topic, cluster)
+        num_words = int(
+            rng.integers(
+                config.min_description_words, config.max_description_words + 1
+            )
+        )
+        description = _compose_description(
+            topic_model,
+            rng,
+            topic,
+            cluster,
+            num_words,
+            config.event_offtopic_word_rate,
+        )
+        category = topic_model.category_for(rng, topic)
+
+        city = int(rng.integers(city_centers.shape[0]))
+        location = city_centers[city] + rng.normal(
+            scale=config.map_size / 25.0, size=2
+        )
+        host_id = int(rng.integers(num_users))
+
+        events.append(
+            Event(
+                event_id=event_id,
+                title=title,
+                description=description,
+                category=category,
+                created_at=created_at,
+                starts_at=starts_at,
+                location=(float(location[0]), float(location[1])),
+                host_id=host_id,
+            )
+        )
+    return EventWorld(
+        events=events,
+        mixtures=mixtures,
+        topic_index=topic_index,
+        cluster_index=cluster_index,
+    )

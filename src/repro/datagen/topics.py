@@ -1,0 +1,480 @@
+"""Ground-truth topic model behind the synthetic world.
+
+The paper's phenomenon rests on latent *semantic topics* that are
+visible in event text and (partially) in user attributes, and that
+drive participation.  This module defines that ground truth: a fixed
+set of topics, each with
+
+* several **subtopic word clusters** — so two events about the same
+  topic can be written with almost disjoint vocabulary, which is what
+  makes the Table-3 "semantically similar, lexically distinct"
+  demonstration possible;
+* **categories** used as the event category attribute;
+* **title templates** for generating event titles.
+
+Everything is deterministic given a :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TopicSpec", "TOPICS", "TOPIC_NAMES", "TopicModel", "STOPWORDS"]
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """Static description of one ground-truth topic."""
+
+    name: str
+    clusters: tuple[tuple[str, ...], ...]
+    categories: tuple[str, ...]
+    title_templates: tuple[str, ...]
+
+    def all_words(self) -> list[str]:
+        return [word for cluster in self.clusters for word in cluster]
+
+
+STOPWORDS: tuple[str, ...] = (
+    "the", "a", "an", "and", "or", "to", "of", "in", "on", "at", "for",
+    "with", "all", "our", "your", "this", "that", "will", "join", "us",
+    "come", "please", "welcome", "everyone", "free", "open", "event",
+    "day", "night", "weekend", "annual", "first", "best", "great", "new",
+    "local", "community", "friends", "family", "fun", "enjoy", "bring",
+    "share", "meet", "more", "info", "details", "time", "location",
+)
+
+
+TOPICS: dict[str, TopicSpec] = {
+    "music": TopicSpec(
+        name="music",
+        clusters=(
+            (
+                "jazz", "trio", "saxophone", "quartet", "improvisation",
+                "swing", "blues", "bebop", "trumpet", "bassist",
+            ),
+            (
+                "concert", "band", "stage", "guitar", "drummer", "vocals",
+                "setlist", "encore", "amplifier", "soundcheck",
+            ),
+            (
+                "symphony", "orchestra", "violin", "cello", "conductor",
+                "philharmonic", "chamber", "recital", "sonata", "ensemble",
+            ),
+            (
+                "dj", "techno", "dancefloor", "vinyl", "remix", "bass",
+                "rave", "electronic", "turntable", "nightclub",
+            ),
+        ),
+        categories=("music_live", "music_concert", "music_festival"),
+        title_templates=(
+            "{w0} {w1} night",
+            "live {w0} at the {w1}",
+            "{w0} festival",
+            "an evening of {w0} and {w1}",
+        ),
+    ),
+    "food": TopicSpec(
+        name="food",
+        clusters=(
+            (
+                "tasting", "chef", "cuisine", "paella", "flavors", "dishes",
+                "gourmet", "recipe", "spices", "feast",
+            ),
+            (
+                "icecream", "dessert", "bakery", "pastry", "chocolate",
+                "creams", "makers", "sampling", "sweet", "sugar",
+            ),
+            (
+                "brewery", "craft", "beer", "ale", "hops", "taproom",
+                "pints", "brewing", "lager", "cider",
+            ),
+            (
+                "farmers", "market", "organic", "produce", "vendors",
+                "harvest", "cheese", "artisan", "honey", "orchard",
+            ),
+        ),
+        categories=("food_tasting", "food_festival", "food_market"),
+        title_templates=(
+            "{w0} {w1} festival",
+            "taste of {w0}",
+            "{w0} and {w1} fair",
+            "{w0} popup",
+        ),
+    ),
+    "sports": TopicSpec(
+        name="sports",
+        clusters=(
+            (
+                "marathon", "runners", "race", "sprint", "finish",
+                "pace", "miles", "jogging", "track", "relay",
+            ),
+            (
+                "soccer", "league", "tournament", "goal", "kickoff",
+                "fields", "referee", "striker", "playoffs", "match",
+            ),
+            (
+                "yoga", "fitness", "workout", "stretch", "pilates",
+                "bootcamp", "trainer", "wellness", "cardio", "strength",
+            ),
+            (
+                "cycling", "ride", "bikes", "trail", "pedal", "gravel",
+                "climb", "helmet", "peloton", "century",
+            ),
+        ),
+        categories=("sports_race", "sports_class", "sports_game"),
+        title_templates=(
+            "{w0} {w1} day",
+            "city {w0} challenge",
+            "{w0} meetup",
+            "morning {w0} session",
+        ),
+    ),
+    "tech": TopicSpec(
+        name="tech",
+        clusters=(
+            (
+                "hackathon", "coding", "developers", "software", "api",
+                "prototype", "demo", "startup", "launch", "product",
+            ),
+            (
+                "robotics", "sensors", "arduino", "drones", "circuits",
+                "soldering", "makers", "printing", "firmware", "gadgets",
+            ),
+            (
+                "data", "machine", "learning", "models", "neural",
+                "analytics", "algorithms", "python", "training", "datasets",
+            ),
+            (
+                "blockchain", "crypto", "wallet", "tokens", "ledger",
+                "mining", "defi", "contracts", "ethereum", "protocol",
+            ),
+        ),
+        categories=("tech_meetup", "tech_conference", "tech_workshop"),
+        title_templates=(
+            "{w0} {w1} meetup",
+            "intro to {w0}",
+            "{w0} night",
+            "build a {w0} workshop",
+        ),
+    ),
+    "art": TopicSpec(
+        name="art",
+        clusters=(
+            (
+                "gallery", "exhibition", "paintings", "canvas", "curator",
+                "portraits", "abstract", "sculpture", "installation", "opening",
+            ),
+            (
+                "pottery", "ceramics", "clay", "kiln", "glaze", "wheel",
+                "handmade", "studio", "crafting", "vases",
+            ),
+            (
+                "photography", "camera", "lens", "exposure", "darkroom",
+                "prints", "portfolio", "lighting", "portrait", "film",
+            ),
+            (
+                "mural", "street", "graffiti", "spray", "walls", "urban",
+                "stencil", "colors", "sketching", "illustration",
+            ),
+        ),
+        categories=("art_exhibit", "art_class", "art_walk"),
+        title_templates=(
+            "{w0} {w1} opening",
+            "{w0} showcase",
+            "{w0} workshop",
+            "the art of {w0}",
+        ),
+    ),
+    "church": TopicSpec(
+        name="church",
+        clusters=(
+            (
+                "worship", "service", "pastor", "sermon", "prayer",
+                "congregation", "blessing", "faith", "scripture", "ministry",
+            ),
+            (
+                "easter", "baptism", "hunt", "egg", "celebration",
+                "resurrection", "sunday", "choir", "hymns", "candles",
+            ),
+            (
+                "charity", "volunteer", "shelter", "donation", "outreach",
+                "mission", "kindness", "giving", "support", "hope",
+            ),
+        ),
+        categories=("church_service", "church_holiday", "church_charity"),
+        title_templates=(
+            "{w0} at hope city",
+            "{w0} {w1} service",
+            "community {w0} drive",
+            "{w0} celebration",
+        ),
+    ),
+    "auto": TopicSpec(
+        name="auto",
+        clusters=(
+            (
+                "autofest", "cars", "engines", "horsepower", "chrome",
+                "classics", "restoration", "showcase", "builds", "garage",
+            ),
+            (
+                "racing", "drift", "laps", "circuit", "turbo", "pit",
+                "qualifying", "drivers", "speedway", "grid",
+            ),
+            (
+                "motorcycles", "riders", "cruiser", "chopper", "rally",
+                "highway", "leather", "exhaust", "throttle", "biker",
+            ),
+        ),
+        categories=("auto_show", "auto_race", "auto_rally"),
+        title_templates=(
+            "{w0} show",
+            "{w0} and {w1} expo",
+            "{w0} weekend",
+            "classic {w0} gathering",
+        ),
+    ),
+    "outdoors": TopicSpec(
+        name="outdoors",
+        clusters=(
+            (
+                "hiking", "summit", "ridge", "trailhead", "switchbacks",
+                "wilderness", "peaks", "alpine", "scramble", "backpack",
+            ),
+            (
+                "camping", "campfire", "tents", "stargazing", "lantern",
+                "marshmallows", "woods", "riverside", "sleeping", "wildlife",
+            ),
+            (
+                "kayaking", "paddle", "rapids", "river", "canoe", "lake",
+                "currents", "lifejacket", "shoreline", "drifting",
+            ),
+            (
+                "birding", "binoculars", "warbler", "migration", "wetland",
+                "heron", "nesting", "fieldguide", "plumage", "songbird",
+            ),
+        ),
+        categories=("outdoors_hike", "outdoors_camp", "outdoors_water"),
+        title_templates=(
+            "{w0} {w1} trip",
+            "sunrise {w0}",
+            "{w0} adventure",
+            "guided {w0} outing",
+        ),
+    ),
+    "gaming": TopicSpec(
+        name="gaming",
+        clusters=(
+            (
+                "boardgames", "dice", "meeples", "strategy", "tabletop",
+                "cardgame", "expansion", "playtest", "tokens", "campaign",
+            ),
+            (
+                "esports", "console", "controller", "stream", "arcade",
+                "tournament", "speedrun", "leaderboard", "lan", "pixels",
+            ),
+            (
+                "chess", "gambit", "endgame", "blitz", "checkmate",
+                "grandmaster", "openings", "rating", "tactics", "clock",
+            ),
+        ),
+        categories=("gaming_tabletop", "gaming_video", "gaming_chess"),
+        title_templates=(
+            "{w0} night",
+            "{w0} {w1} tournament",
+            "casual {w0} meetup",
+            "{w0} league",
+        ),
+    ),
+    "literature": TopicSpec(
+        name="literature",
+        clusters=(
+            (
+                "bookclub", "novel", "chapters", "author", "reading",
+                "paperback", "discussion", "fiction", "memoir", "bestseller",
+            ),
+            (
+                "poetry", "verses", "slam", "stanza", "spoken", "rhyme",
+                "poets", "mic", "anthology", "metaphor",
+            ),
+            (
+                "writing", "workshop", "drafts", "manuscript", "editing",
+                "plotting", "characters", "prose", "critique", "publishing",
+            ),
+        ),
+        categories=("lit_bookclub", "lit_poetry", "lit_writing"),
+        title_templates=(
+            "{w0} circle",
+            "{w0} and {w1} night",
+            "monthly {w0} meetup",
+            "{w0} open mic",
+        ),
+    ),
+    "dance": TopicSpec(
+        name="dance",
+        clusters=(
+            (
+                "salsa", "bachata", "merengue", "latin", "footwork",
+                "partner", "spins", "rhythm", "social", "beginners",
+            ),
+            (
+                "ballet", "pointe", "barre", "choreography", "recital",
+                "tutu", "pirouette", "ensemble", "adagio", "studio",
+            ),
+            (
+                "swing", "lindy", "charleston", "hop", "jitterbug",
+                "bigband", "follow", "lead", "dips", "vintage",
+            ),
+        ),
+        categories=("dance_social", "dance_class", "dance_performance"),
+        title_templates=(
+            "{w0} social",
+            "{w0} {w1} class",
+            "{w0} night",
+            "learn to {w0}",
+        ),
+    ),
+    "science": TopicSpec(
+        name="science",
+        clusters=(
+            (
+                "astronomy", "telescope", "planets", "nebula", "comet",
+                "stargazers", "observatory", "eclipse", "galaxies", "orbit",
+            ),
+            (
+                "chemistry", "lab", "experiments", "reactions", "beakers",
+                "molecules", "crystals", "periodic", "compounds", "demos",
+            ),
+            (
+                "biology", "microscope", "specimens", "ecology", "genetics",
+                "cells", "dissection", "organisms", "evolution", "habitat",
+            ),
+        ),
+        categories=("science_talk", "science_lab", "science_night"),
+        title_templates=(
+            "{w0} night",
+            "{w0} for everyone",
+            "hands on {w0}",
+            "{w0} open house",
+        ),
+    ),
+}
+
+TOPIC_NAMES: tuple[str, ...] = tuple(TOPICS)
+
+
+class TopicModel:
+    """Sampling interface over the ground-truth topics.
+
+    Provides topic mixtures for users/events, word sampling for text
+    generation, and the topic-affinity cosine that drives ground-truth
+    participation probabilities.
+    """
+
+    def __init__(self, topic_names: tuple[str, ...] = TOPIC_NAMES):
+        unknown = [name for name in topic_names if name not in TOPICS]
+        if unknown:
+            raise ValueError(f"unknown topics: {unknown}")
+        self.topic_names = topic_names
+        self.specs = [TOPICS[name] for name in topic_names]
+
+    @property
+    def num_topics(self) -> int:
+        return len(self.topic_names)
+
+    def sample_mixture(
+        self,
+        rng: np.random.Generator,
+        concentration: float = 0.25,
+        num_active: int | None = None,
+    ) -> np.ndarray:
+        """A sparse topic-probability vector.
+
+        With ``num_active`` set, probability mass is confined to that
+        many uniformly chosen topics (events are usually single-topic,
+        users span 2-4).
+        """
+        if num_active is None:
+            mixture = rng.dirichlet(np.full(self.num_topics, concentration))
+            return mixture
+        if not 1 <= num_active <= self.num_topics:
+            raise ValueError(f"num_active out of range: {num_active}")
+        active = rng.choice(self.num_topics, size=num_active, replace=False)
+        weights = rng.dirichlet(np.full(num_active, 1.0))
+        mixture = np.zeros(self.num_topics)
+        mixture[active] = weights
+        return mixture
+
+    def dominant_topic(self, mixture: np.ndarray) -> int:
+        return int(np.argmax(mixture))
+
+    def sample_cluster(
+        self, rng: np.random.Generator, topic_index: int
+    ) -> int:
+        """Pick a subtopic word cluster for a topic."""
+        return int(rng.integers(len(self.specs[topic_index].clusters)))
+
+    def sample_words(
+        self,
+        rng: np.random.Generator,
+        topic_index: int,
+        count: int,
+        cluster_index: int | None = None,
+        cluster_loyalty: float = 0.85,
+    ) -> list[str]:
+        """Sample topic words, mostly from one subtopic cluster.
+
+        With probability ``cluster_loyalty`` a word comes from the
+        chosen cluster; otherwise from anywhere in the topic.  This
+        creates same-topic events with very different word sets.
+        """
+        spec = self.specs[topic_index]
+        if cluster_index is None:
+            cluster_index = self.sample_cluster(rng, topic_index)
+        cluster = spec.clusters[cluster_index]
+        everything = spec.all_words()
+        words = []
+        for _ in range(count):
+            if rng.random() < cluster_loyalty:
+                words.append(cluster[int(rng.integers(len(cluster)))])
+            else:
+                words.append(everything[int(rng.integers(len(everything)))])
+        return words
+
+    def sample_stopwords(
+        self, rng: np.random.Generator, count: int
+    ) -> list[str]:
+        index = rng.integers(len(STOPWORDS), size=count)
+        return [STOPWORDS[i] for i in index]
+
+    @staticmethod
+    def affinity(mixture_a: np.ndarray, mixture_b: np.ndarray) -> float:
+        """Cosine of two topic mixtures — the ground-truth semantic
+        match score that participation probabilities are built on."""
+        denom = float(np.linalg.norm(mixture_a) * np.linalg.norm(mixture_b))
+        if denom == 0.0:
+            return 0.0
+        return float(mixture_a @ mixture_b / denom)
+
+    def category_for(
+        self, rng: np.random.Generator, topic_index: int
+    ) -> str:
+        categories = self.specs[topic_index].categories
+        return categories[int(rng.integers(len(categories)))]
+
+    def title_for(
+        self,
+        rng: np.random.Generator,
+        topic_index: int,
+        cluster_index: int,
+    ) -> str:
+        """Fill a title template with cluster words."""
+        spec = self.specs[topic_index]
+        template = spec.title_templates[
+            int(rng.integers(len(spec.title_templates)))
+        ]
+        cluster = spec.clusters[cluster_index]
+        picks = rng.choice(len(cluster), size=2, replace=False)
+        return template.format(w0=cluster[picks[0]], w1=cluster[picks[1]])

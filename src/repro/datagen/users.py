@@ -1,0 +1,178 @@
+"""User and page generation.
+
+Users carry the heterogeneous attribute set Section 3 describes:
+demographic/geographic categorical features, interest keywords, and
+subscribed pages in both categorical (page id) and text (page title)
+form.  The ground-truth topic mixture that drives a user's
+participation behaviour is *latent* — the model only ever sees its
+noisy reflections in those attributes, which is exactly the matching
+problem the paper sets up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.config import DataConfig
+from repro.datagen.topics import TopicModel
+from repro.entities import User
+
+__all__ = [
+    "AGE_BUCKETS",
+    "GENDERS",
+    "Page",
+    "UserWorld",
+    "generate_pages",
+    "generate_users",
+]
+
+AGE_BUCKETS: tuple[str, ...] = ("13-17", "18-24", "25-34", "35-44", "45-54", "55+")
+GENDERS: tuple[str, ...] = ("female", "male", "other")
+
+
+@dataclass(frozen=True)
+class Page:
+    """A subscribable page with a dominant topic."""
+
+    page_id: int
+    title: str
+    topic_index: int
+    mixture: np.ndarray
+
+
+@dataclass
+class UserWorld:
+    """Users plus the latent ground truth needed by the simulator."""
+
+    users: list[User]
+    mixtures: np.ndarray  # (num_users, num_topics) latent interests
+    city_index: np.ndarray  # (num_users,)
+    city_centers: np.ndarray  # (num_cities, 2)
+    pages: list[Page]
+
+
+def _age_topic_propensity(num_topics: int) -> np.ndarray:
+    """Deterministic age-bucket × topic propensity matrix.
+
+    Each bucket prefers a rotating subset of topics, creating the mild
+    demographic-interest correlation that lets categorical features
+    carry semantic signal (the reason the paper includes them).
+    """
+    num_buckets = len(AGE_BUCKETS)
+    propensity = np.ones((num_buckets, num_topics))
+    for bucket in range(num_buckets):
+        for topic in range(num_topics):
+            if (topic + bucket) % 3 == 0:
+                propensity[bucket, topic] += 1.5
+            if (topic * 2 + bucket) % 5 == 0:
+                propensity[bucket, topic] += 0.75
+    return propensity
+
+
+def generate_pages(
+    topic_model: TopicModel, config: DataConfig, rng: np.random.Generator
+) -> list[Page]:
+    """Pages with topic-pure mixtures and topical titles."""
+    pages = []
+    for page_id in range(config.num_pages):
+        topic_index = int(rng.integers(topic_model.num_topics))
+        cluster_index = topic_model.sample_cluster(rng, topic_index)
+        words = topic_model.sample_words(
+            rng, topic_index, count=3, cluster_index=cluster_index
+        )
+        title = " ".join(dict.fromkeys(words))  # dedupe, keep order
+        mixture = np.zeros(topic_model.num_topics)
+        mixture[topic_index] = 1.0
+        pages.append(Page(page_id, title, topic_index, mixture))
+    return pages
+
+
+def generate_users(
+    topic_model: TopicModel,
+    pages: list[Page],
+    config: DataConfig,
+    rng: np.random.Generator,
+) -> UserWorld:
+    """Sample the full user population.
+
+    Friend lists are left empty here; the social graph is attached by
+    the world builder after all users exist.
+    """
+    num_topics = topic_model.num_topics
+    propensity = _age_topic_propensity(num_topics)
+    city_centers = rng.uniform(0, config.map_size, size=(config.num_cities, 2))
+    page_matrix = np.stack([page.mixture for page in pages])
+
+    users: list[User] = []
+    mixtures = np.zeros((config.num_users, num_topics))
+    city_index = rng.integers(config.num_cities, size=config.num_users)
+
+    for user_id in range(config.num_users):
+        age_bucket = int(rng.integers(len(AGE_BUCKETS)))
+        gender = GENDERS[int(rng.integers(len(GENDERS)))]
+
+        # Latent interests: a few active topics, biased by age bucket.
+        num_active = int(
+            rng.integers(config.min_user_topics, config.max_user_topics + 1)
+        )
+        topic_probabilities = propensity[age_bucket] / propensity[age_bucket].sum()
+        active = rng.choice(
+            num_topics, size=num_active, replace=False, p=topic_probabilities
+        )
+        weights = rng.dirichlet(np.full(num_active, 1.0))
+        mixture = np.zeros(num_topics)
+        mixture[active] = weights
+        mixtures[user_id] = mixture
+
+        # Interest keywords: drawn from the active topics.
+        num_keywords = int(
+            rng.integers(config.min_keywords, config.max_keywords + 1)
+        )
+        keywords: list[str] = []
+        for _ in range(num_keywords):
+            topic = int(rng.choice(active, p=weights))
+            keywords.extend(topic_model.sample_words(rng, topic, count=1))
+
+        # Page subscriptions: softmax over topic affinity.
+        num_subscriptions = int(
+            rng.integers(config.min_pages_per_user, config.max_pages_per_user + 1)
+        )
+        num_subscriptions = min(num_subscriptions, len(pages))
+        affinity = page_matrix @ mixture
+        logits = 5.0 * affinity
+        logits -= logits.max()
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum()
+        subscribed = rng.choice(
+            len(pages), size=num_subscriptions, replace=False, p=probabilities
+        )
+        page_ids = sorted(int(page) for page in subscribed)
+        page_titles = [pages[page].title for page in page_ids]
+
+        center = city_centers[city_index[user_id]]
+        home = center + rng.normal(scale=config.map_size / 25.0, size=2)
+
+        users.append(
+            User(
+                user_id=user_id,
+                categorical={
+                    "age_bucket": AGE_BUCKETS[age_bucket],
+                    "gender": gender,
+                    "city": f"city_{city_index[user_id]}",
+                },
+                keywords=keywords,
+                page_titles=page_titles,
+                page_ids=page_ids,
+                home_location=(float(home[0]), float(home[1])),
+                friend_ids=[],
+            )
+        )
+    return UserWorld(
+        users=users,
+        mixtures=mixtures,
+        city_index=city_index,
+        city_centers=city_centers,
+        pages=pages,
+    )

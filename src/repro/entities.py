@@ -1,0 +1,200 @@
+"""Canonical user / event / impression records.
+
+These dataclasses are the contract between the data layer
+(:mod:`repro.datagen` or any real data source), the text layer that
+assembles model inputs, the feature pipeline, and the evaluation
+protocol.  They mirror Section 3 of the paper:
+
+* an **event** "is represented simply by a text document" built from
+  its meta texts (title, description, category), plus the structured
+  attributes (time, location, host) consumed by the combiner's base
+  features;
+* a **user** "is represented by a text document and an unordered list
+  of id features" — demographic/geographic categorical attributes plus
+  text expanded from profile keywords and subscribed page titles;
+* an **impression** is one (user, event, timestamp) exposure with a
+  binary participation label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["User", "Event", "Impression"]
+
+
+@dataclass
+class User:
+    """A social-network user profile.
+
+    Attributes:
+        user_id: unique integer id.
+        categorical: mapping of categorical feature name to value
+            (e.g. ``{"age_bucket": "25-34", "city": "city_3"}``).
+            Rendered as ``name=value`` id tokens for the categorical
+            extraction module.
+        keywords: self-labeled or auto-generated interest keywords.
+        page_titles: titles of subscribed pages (text form of the
+            user's activity log).
+        page_ids: ids of subscribed pages (categorical form of the
+            same signal; the paper includes both).
+        home_location: (x, y) coordinates on the synthetic map, used
+            by the combiner's location-matching base features.
+        friend_ids: adjacency in the social graph.
+    """
+
+    user_id: int
+    categorical: dict[str, str] = field(default_factory=dict)
+    keywords: list[str] = field(default_factory=list)
+    page_titles: list[str] = field(default_factory=list)
+    page_ids: list[int] = field(default_factory=list)
+    home_location: tuple[float, float] = (0.0, 0.0)
+    friend_ids: list[int] = field(default_factory=list)
+
+    def id_tokens(self) -> list[str]:
+        """Render categorical features as an unordered id-token list.
+
+        Each feature-value pair gets a distinct token (Section 3:
+        "By assigning each feature-value pair a distinct id, we treat
+        all categorical features as id features").
+        """
+        tokens = [f"{name}={value}" for name, value in sorted(self.categorical.items())]
+        tokens.extend(f"page={page_id}" for page_id in self.page_ids)
+        return tokens
+
+    def text_document(self) -> str:
+        """Combine all user text features into a single document."""
+        return " ".join([*self.keywords, *self.page_titles])
+
+    def to_dict(self) -> dict:
+        return {
+            "user_id": self.user_id,
+            "categorical": self.categorical,
+            "keywords": self.keywords,
+            "page_titles": self.page_titles,
+            "page_ids": self.page_ids,
+            "home_location": list(self.home_location),
+            "friend_ids": self.friend_ids,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "User":
+        return cls(
+            user_id=payload["user_id"],
+            categorical=dict(payload["categorical"]),
+            keywords=list(payload["keywords"]),
+            page_titles=list(payload["page_titles"]),
+            page_ids=list(payload["page_ids"]),
+            home_location=tuple(payload["home_location"]),
+            friend_ids=list(payload["friend_ids"]),
+        )
+
+
+@dataclass
+class Event:
+    """A user-managed event.
+
+    Attributes:
+        event_id: unique integer id.
+        title: short event title.
+        description: free-text body.
+        category: category label (e.g. ``"food_tasting"``).
+        created_at: creation time in hours since epoch of the dataset.
+        starts_at: scheduled event time; the event expires afterwards
+            (the transiency central to the paper's motivation).
+        location: (x, y) coordinates on the synthetic map.
+        host_id: user id of the organizer.
+    """
+
+    event_id: int
+    title: str
+    description: str
+    category: str
+    created_at: float
+    starts_at: float
+    location: tuple[float, float] = (0.0, 0.0)
+    host_id: int = -1
+
+    @property
+    def lifespan_hours(self) -> float:
+        """Hours from creation to the scheduled start."""
+        return self.starts_at - self.created_at
+
+    def is_active(self, at_time: float) -> bool:
+        """Whether the event can still be recommended at *at_time*."""
+        return self.created_at <= at_time < self.starts_at
+
+    def text_document(self) -> str:
+        """Concatenate event meta texts (title, description, category)."""
+        return " ".join(
+            part for part in (self.title, self.description, self.category) if part
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "event_id": self.event_id,
+            "title": self.title,
+            "description": self.description,
+            "category": self.category,
+            "created_at": self.created_at,
+            "starts_at": self.starts_at,
+            "location": list(self.location),
+            "host_id": self.host_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Event":
+        return cls(
+            event_id=payload["event_id"],
+            title=payload["title"],
+            description=payload["description"],
+            category=payload["category"],
+            created_at=payload["created_at"],
+            starts_at=payload["starts_at"],
+            location=tuple(payload["location"]),
+            host_id=payload["host_id"],
+        )
+
+
+@dataclass(frozen=True)
+class Impression:
+    """One exposure of an event to a user, with its outcome label.
+
+    The label follows Section 5.1: "For one impression, the label is
+    given by whether user participation is achieved from the
+    impression."  ``clicked`` is the weaker auxiliary feedback type
+    (paper Section 5.1 baseline: "multiple collaborative filtering
+    features based on different types of user feedback") — a user who
+    participates always clicked first.
+    """
+
+    user_id: int
+    event_id: int
+    shown_at: float
+    participated: bool
+    clicked: bool = False
+
+    def __post_init__(self):
+        if self.participated and not self.clicked:
+            # Participation implies a click; normalize silently so
+            # hand-constructed impressions stay consistent.
+            object.__setattr__(self, "clicked", True)
+
+    def to_dict(self) -> dict:
+        return {
+            "user_id": self.user_id,
+            "event_id": self.event_id,
+            "shown_at": self.shown_at,
+            "participated": self.participated,
+            "clicked": self.clicked,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Impression":
+        return cls(
+            user_id=payload["user_id"],
+            event_id=payload["event_id"],
+            shown_at=payload["shown_at"],
+            participated=payload["participated"],
+            clicked=payload.get("clicked", payload["participated"]),
+        )

@@ -1,0 +1,38 @@
+"""Evaluation: metrics, the two-stage experiment protocol, reporting."""
+
+from repro.eval.calibration import (
+    ReliabilityCurve,
+    downsampling_correction,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.eval.metrics import (
+    ClassifierReport,
+    PRCurve,
+    evaluate_scores,
+    pr_curve,
+    precision_at_recall,
+    roc_auc,
+    roc_curve,
+)
+from repro.eval.protocol import ExperimentResult, TwoStageExperiment
+from repro.eval.reporting import format_importances, format_table, render_pr_curves
+
+__all__ = [
+    "ClassifierReport",
+    "ExperimentResult",
+    "PRCurve",
+    "ReliabilityCurve",
+    "TwoStageExperiment",
+    "evaluate_scores",
+    "format_importances",
+    "format_table",
+    "pr_curve",
+    "precision_at_recall",
+    "render_pr_curves",
+    "roc_auc",
+    "downsampling_correction",
+    "expected_calibration_error",
+    "reliability_curve",
+    "roc_curve",
+]

@@ -1,0 +1,112 @@
+"""Probability calibration diagnostics.
+
+The combiner's output is consumed as a probability (the paper trains
+it with cross-entropy on down-sampled negatives, which biases the
+scale — a practical concern He et al. [6] handle with re-calibration).
+This module provides:
+
+* :func:`reliability_curve` — observed positive rate per predicted-
+  probability bin;
+* :func:`expected_calibration_error` — the standard ECE summary;
+* :func:`downsampling_correction` — the closed-form logit shift that
+  undoes a known negative down-sampling rate, mapping the 1:4-trained
+  combiner back to the raw traffic scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityCurve",
+    "reliability_curve",
+    "expected_calibration_error",
+    "downsampling_correction",
+]
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned calibration data.
+
+    Attributes:
+        bin_centers: midpoint of each probability bin.
+        mean_predicted: mean predicted probability per bin.
+        observed_rate: empirical positive rate per bin.
+        counts: examples per bin.
+    """
+
+    bin_centers: np.ndarray
+    mean_predicted: np.ndarray
+    observed_rate: np.ndarray
+    counts: np.ndarray
+
+
+def reliability_curve(
+    labels: np.ndarray, probabilities: np.ndarray, num_bins: int = 10
+) -> ReliabilityCurve:
+    """Bin predictions into equal-width probability bins.
+
+    Empty bins are dropped.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if labels.shape != probabilities.shape:
+        raise ValueError("labels and probabilities must align")
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    if np.any(probabilities < 0) or np.any(probabilities > 1):
+        raise ValueError("probabilities must lie in [0, 1]")
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins = np.clip(np.digitize(probabilities, edges) - 1, 0, num_bins - 1)
+    centers, mean_pred, observed, counts = [], [], [], []
+    for index in range(num_bins):
+        members = bins == index
+        if not members.any():
+            continue
+        centers.append((edges[index] + edges[index + 1]) / 2.0)
+        mean_pred.append(float(probabilities[members].mean()))
+        observed.append(float(labels[members].mean()))
+        counts.append(int(members.sum()))
+    return ReliabilityCurve(
+        bin_centers=np.asarray(centers),
+        mean_predicted=np.asarray(mean_pred),
+        observed_rate=np.asarray(observed),
+        counts=np.asarray(counts),
+    )
+
+
+def expected_calibration_error(
+    labels: np.ndarray, probabilities: np.ndarray, num_bins: int = 10
+) -> float:
+    """Count-weighted mean |observed − predicted| over bins."""
+    curve = reliability_curve(labels, probabilities, num_bins)
+    total = curve.counts.sum()
+    if total == 0:
+        return 0.0
+    gaps = np.abs(curve.observed_rate - curve.mean_predicted)
+    return float((gaps * curve.counts).sum() / total)
+
+
+def downsampling_correction(
+    probabilities: np.ndarray, keep_rate: float
+) -> np.ndarray:
+    """Undo negative down-sampling in probability space.
+
+    A model trained on data where negatives were kept with probability
+    ``keep_rate`` over-predicts; the corrected probability is
+
+        p' = p / (p + (1 − p) / keep_rate)
+
+    Args:
+        probabilities: model outputs on the down-sampled scale.
+        keep_rate: fraction of negatives that survived sampling.
+    """
+    if not 0.0 < keep_rate <= 1.0:
+        raise ValueError(f"keep_rate must be in (0, 1], got {keep_rate}")
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    return probabilities / (
+        probabilities + (1.0 - probabilities) / keep_rate
+    )

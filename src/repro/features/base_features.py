@@ -1,0 +1,196 @@
+"""Base combiner features (the "No-CF" feature set of Table 2).
+
+"The combiner feature set covers standard user and event attributes
+and engineered statistics on matching user attributes with event
+attributes" (Section 4).  Concretely:
+
+* geometry and timing: user-event distance, time-to-start, event age;
+* raw user/event attributes: demographics, text lengths, category id;
+* retrieval-style semantic matching: TF-IDF cosine and keyword
+  overlap between user document and event text;
+* engineered historical statistics (fit on the history split only):
+  per-user, per-age-bucket×category and per-city×category
+  participation rates, with Laplace smoothing toward the global rate;
+* live counters from the timeline replay: event impressions / clicks /
+  joins so far.
+
+Everything here is deliberately *not* collaborative filtering — social
+propagation features live in :mod:`repro.features.cf_features` so the
+Table-2 decomposition is clean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.entities import Impression
+from repro.features.context import FeatureContext
+from repro.features.timeline import TimelineState
+from repro.text.normalize import split_words
+
+__all__ = ["BaseFeatureExtractor"]
+
+_SMOOTHING = 5.0
+
+
+class _RateTable:
+    """Smoothed participation-rate lookup keyed by arbitrary tuples."""
+
+    def __init__(self, global_rate: float, smoothing: float = _SMOOTHING):
+        self.global_rate = global_rate
+        self.smoothing = smoothing
+        self._joins: dict = {}
+        self._trials: dict = {}
+
+    def observe(self, key, participated: bool) -> None:
+        self._trials[key] = self._trials.get(key, 0) + 1
+        if participated:
+            self._joins[key] = self._joins.get(key, 0) + 1
+
+    def rate(self, key) -> float:
+        trials = self._trials.get(key, 0)
+        joins = self._joins.get(key, 0)
+        return (joins + self.smoothing * self.global_rate) / (
+            trials + self.smoothing
+        )
+
+
+class BaseFeatureExtractor:
+    """Fit on history, then compute per-impression base features."""
+
+    def __init__(self, context: FeatureContext):
+        self.context = context
+        self._fitted = False
+        self._global_rate = 0.0
+        self._user_rate: _RateTable | None = None
+        self._age_category_rate: _RateTable | None = None
+        self._city_category_rate: _RateTable | None = None
+
+    def feature_names(self) -> list[str]:
+        return [
+            "base_distance",
+            "base_proximity",
+            "base_same_city",
+            "base_hours_to_start",
+            "base_event_age_hours",
+            "base_event_lifespan_hours",
+            "base_lifespan_elapsed_frac",
+            "base_title_words",
+            "base_description_words",
+            "base_category_id",
+            "base_user_age_index",
+            "base_user_gender_index",
+            "base_user_num_friends",
+            "base_user_num_pages",
+            "base_user_num_keywords",
+            "base_tfidf_match",
+            "base_keyword_overlap",
+            "base_keyword_overlap_norm",
+            "base_host_is_friend",
+            "base_hist_user_rate",
+            "base_hist_age_category_rate",
+            "base_hist_city_category_rate",
+            "base_event_impressions_now",
+            "base_event_clicks_now",
+            "base_event_joins_now",
+            "base_user_joins_now",
+            "base_user_impressions_now",
+        ]
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names())
+
+    def fit(self, history: Sequence[Impression]) -> "BaseFeatureExtractor":
+        """Build the engineered rate tables from the history split."""
+        positives = sum(1 for imp in history if imp.participated)
+        self._global_rate = positives / len(history) if history else 0.0
+        self._user_rate = _RateTable(self._global_rate)
+        self._age_category_rate = _RateTable(self._global_rate)
+        self._city_category_rate = _RateTable(self._global_rate)
+        for impression in history:
+            user = self.context.user(impression.user_id)
+            event = self.context.event(impression.event_id)
+            label = impression.participated
+            self._user_rate.observe(impression.user_id, label)
+            self._age_category_rate.observe(
+                (user.categorical.get("age_bucket"), event.category), label
+            )
+            self._city_category_rate.observe(
+                (user.categorical.get("city"), event.category), label
+            )
+        self._fitted = True
+        return self
+
+    def compute_row(
+        self, impression: Impression, state: TimelineState
+    ) -> np.ndarray:
+        """Feature vector for one impression given the live state."""
+        if not self._fitted:
+            raise RuntimeError("extractor is not fitted")
+        user = self.context.user(impression.user_id)
+        event = self.context.event(impression.event_id)
+
+        distance = self.context.distance(user, event)
+        proximity = float(np.exp(-distance / 18.0))
+        same_city = 1.0 if distance < 10.0 else 0.0
+        hours_to_start = event.starts_at - impression.shown_at
+        event_age = impression.shown_at - event.created_at
+        lifespan = event.lifespan_hours
+        elapsed_frac = event_age / lifespan if lifespan > 0 else 1.0
+
+        overlap, overlap_norm = self.context.keyword_overlap(
+            user.user_id, event.event_id
+        )
+        host_is_friend = (
+            1.0
+            if event.host_id in self.context.friend_sets[user.user_id]
+            else 0.0
+        )
+
+        return np.array(
+            [
+                distance,
+                proximity,
+                same_city,
+                hours_to_start,
+                event_age,
+                lifespan,
+                elapsed_frac,
+                float(len(split_words(event.title))),
+                float(len(split_words(event.description))),
+                float(self.context.category_id(event.category)),
+                float(
+                    self.context.age_index.get(
+                        user.categorical.get("age_bucket"), -1
+                    )
+                ),
+                float(
+                    self.context.gender_index.get(
+                        user.categorical.get("gender"), -1
+                    )
+                ),
+                float(len(user.friend_ids)),
+                float(len(user.page_ids)),
+                float(len(user.keywords)),
+                self.context.tfidf_match(user.user_id, event.event_id),
+                float(overlap),
+                overlap_norm,
+                host_is_friend,
+                self._user_rate.rate(impression.user_id),
+                self._age_category_rate.rate(
+                    (user.categorical.get("age_bucket"), event.category)
+                ),
+                self._city_category_rate.rate(
+                    (user.categorical.get("city"), event.category)
+                ),
+                float(state.event_impressions.get(event.event_id, 0)),
+                float(len(state.clickers_of(event.event_id))),
+                float(len(state.attendees_of(event.event_id))),
+                float(state.user_joins.get(user.user_id, 0)),
+                float(state.user_impressions.get(user.user_id, 0)),
+            ],
+            dtype=np.float64,
+        )

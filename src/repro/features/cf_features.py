@@ -1,0 +1,171 @@
+"""Collaborative-filtering combiner features (the "CF" set of Table 2).
+
+Section 5.1: the baseline "includes multiple collaborative filtering
+features based on different types of user feedback (e.g. like/dislike,
+join, interested in) and social connections (e.g., friend,
+organizer/performer, and events)".  Here:
+
+* **social propagation at impression time** — friends already joined /
+  clicked this event (from the timeline replay);
+* **user-user memory-based CF** — cosine similarity over co-join and
+  co-click incidence from history, scored against the event's current
+  attendee/clicker set;
+* **organizer affinity** — the user's historical joins/clicks on this
+  host's previous events;
+* **friend-category propensity** — fraction of the user's friends who
+  joined this category in history.
+
+These features are strong where history exists and cold where it does
+not — the generalization gap the representation features close.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.entities import Impression
+from repro.features.context import FeatureContext
+from repro.features.timeline import TimelineState
+
+__all__ = ["CFFeatureExtractor"]
+
+
+class _CoOccurrence:
+    """Symmetric user-user cosine similarity from co-feedback counts."""
+
+    def __init__(self):
+        self._pair_counts: dict[tuple[int, int], int] = {}
+        self._user_counts: dict[int, int] = {}
+        self.neighbors: dict[int, dict[int, float]] = {}
+
+    def add_group(self, users: list[int]) -> None:
+        """Record that all *users* gave the same feedback on one event."""
+        for user in users:
+            self._user_counts[user] = self._user_counts.get(user, 0) + 1
+        for i, user_a in enumerate(users):
+            for user_b in users[i + 1 :]:
+                key = (user_a, user_b) if user_a < user_b else (user_b, user_a)
+                self._pair_counts[key] = self._pair_counts.get(key, 0) + 1
+
+    def finalize(self) -> None:
+        """Convert co-counts into per-user cosine neighbor maps."""
+        self.neighbors = {}
+        for (user_a, user_b), count in self._pair_counts.items():
+            denom = np.sqrt(
+                self._user_counts[user_a] * self._user_counts[user_b]
+            )
+            similarity = count / denom if denom else 0.0
+            self.neighbors.setdefault(user_a, {})[user_b] = similarity
+            self.neighbors.setdefault(user_b, {})[user_a] = similarity
+
+    def score_against(self, user_id: int, others: set[int]) -> float:
+        """Σ similarity(user, v) over v in *others*."""
+        sims = self.neighbors.get(user_id)
+        if not sims:
+            return 0.0
+        if len(others) < len(sims):
+            return sum(sims.get(other, 0.0) for other in others)
+        return sum(value for other, value in sims.items() if other in others)
+
+    def neighbor_count(self, user_id: int) -> int:
+        return len(self.neighbors.get(user_id, ()))
+
+
+class CFFeatureExtractor:
+    """Fit CF structures on history; compute per-impression features."""
+
+    def __init__(self, context: FeatureContext):
+        self.context = context
+        self._fitted = False
+        self._join_cf = _CoOccurrence()
+        self._click_cf = _CoOccurrence()
+        self._host_joins: dict[tuple[int, int], int] = {}
+        self._host_clicks: dict[tuple[int, int], int] = {}
+        self._user_category_joins: dict[tuple[int, str], int] = {}
+
+    def feature_names(self) -> list[str]:
+        return [
+            "cf_friends_joined_now",
+            "cf_friends_joined_frac",
+            "cf_friends_clicked_now",
+            "cf_user_user_join_score",
+            "cf_user_user_click_score",
+            "cf_join_neighbor_count",
+            "cf_host_prior_joins",
+            "cf_host_prior_clicks",
+            "cf_friend_category_rate",
+        ]
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names())
+
+    def fit(self, history: Sequence[Impression]) -> "CFFeatureExtractor":
+        """Build co-feedback similarity and host/category priors."""
+        joins_by_event: dict[int, list[int]] = {}
+        clicks_by_event: dict[int, list[int]] = {}
+        for impression in history:
+            event = self.context.event(impression.event_id)
+            if impression.participated:
+                joins_by_event.setdefault(impression.event_id, []).append(
+                    impression.user_id
+                )
+                key = (impression.user_id, event.host_id)
+                self._host_joins[key] = self._host_joins.get(key, 0) + 1
+                category_key = (impression.user_id, event.category)
+                self._user_category_joins[category_key] = (
+                    self._user_category_joins.get(category_key, 0) + 1
+                )
+            if impression.clicked:
+                clicks_by_event.setdefault(impression.event_id, []).append(
+                    impression.user_id
+                )
+                key = (impression.user_id, event.host_id)
+                self._host_clicks[key] = self._host_clicks.get(key, 0) + 1
+        for users in joins_by_event.values():
+            self._join_cf.add_group(sorted(set(users)))
+        for users in clicks_by_event.values():
+            self._click_cf.add_group(sorted(set(users)))
+        self._join_cf.finalize()
+        self._click_cf.finalize()
+        self._fitted = True
+        return self
+
+    def compute_row(
+        self, impression: Impression, state: TimelineState
+    ) -> np.ndarray:
+        """CF feature vector for one impression given the live state."""
+        if not self._fitted:
+            raise RuntimeError("extractor is not fitted")
+        user_id = impression.user_id
+        event = self.context.event(impression.event_id)
+        friends = self.context.friend_sets[user_id]
+        attendees = state.attendees_of(event.event_id)
+        clickers = state.clickers_of(event.event_id)
+
+        friends_joined = len(friends & attendees)
+        friends_clicked = len(friends & clickers)
+        num_friends = max(len(friends), 1)
+
+        category_joiners = sum(
+            1
+            for friend in friends
+            if self._user_category_joins.get((friend, event.category), 0) > 0
+        )
+
+        return np.array(
+            [
+                float(friends_joined),
+                friends_joined / num_friends,
+                float(friends_clicked),
+                self._join_cf.score_against(user_id, attendees),
+                self._click_cf.score_against(user_id, clickers),
+                float(self._join_cf.neighbor_count(user_id)),
+                float(self._host_joins.get((user_id, event.host_id), 0)),
+                float(self._host_clicks.get((user_id, event.host_id), 0)),
+                category_joiners / num_friends,
+            ],
+            dtype=np.float64,
+        )

@@ -1,0 +1,90 @@
+"""Shared lookup context for feature extraction.
+
+Pre-computes everything that is pure function of the entity corpus —
+friend sets, word sets, TF-IDF vectors, category indices — so the
+per-impression extractors stay cheap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.tfidf import SparseVector, TfIdfVectorizer, sparse_cosine
+from repro.datagen.users import AGE_BUCKETS, GENDERS
+from repro.entities import Event, User
+from repro.text.normalize import split_words
+
+__all__ = ["FeatureContext"]
+
+
+class FeatureContext:
+    """Entity lookups shared by every feature extractor."""
+
+    def __init__(self, users: Sequence[User], events: Sequence[Event]):
+        if not users or not events:
+            raise ValueError("context needs users and events")
+        self.users_by_id = {user.user_id: user for user in users}
+        self.events_by_id = {event.event_id: event for event in events}
+        self.friend_sets = {
+            user.user_id: set(user.friend_ids) for user in users
+        }
+        self.event_words = {
+            event.event_id: set(split_words(event.text_document()))
+            for event in events
+        }
+        self.user_keywords = {
+            user.user_id: set(
+                split_words(" ".join([*user.keywords, *user.page_titles]))
+            )
+            for user in users
+        }
+        categories = sorted({event.category for event in events})
+        self.category_index = {
+            category: index for index, category in enumerate(categories)
+        }
+        self.age_index = {bucket: i for i, bucket in enumerate(AGE_BUCKETS)}
+        self.gender_index = {gender: i for i, gender in enumerate(GENDERS)}
+
+        # TF-IDF fitted on event texts: the retrieval-style matcher
+        # available to the production baseline.
+        self.tfidf = TfIdfVectorizer(min_df=1).fit(
+            event.text_document() for event in events
+        )
+        self._event_tfidf: dict[int, SparseVector] = {
+            event.event_id: self.tfidf.transform(event.text_document())
+            for event in events
+        }
+        self._user_tfidf: dict[int, SparseVector] = {
+            user.user_id: self.tfidf.transform(user.text_document())
+            for user in users
+        }
+
+    def user(self, user_id: int) -> User:
+        return self.users_by_id[user_id]
+
+    def event(self, event_id: int) -> Event:
+        return self.events_by_id[event_id]
+
+    def distance(self, user: User, event: Event) -> float:
+        delta = np.asarray(user.home_location) - np.asarray(event.location)
+        return float(np.sqrt((delta * delta).sum()))
+
+    def tfidf_match(self, user_id: int, event_id: int) -> float:
+        """TF-IDF cosine between user document and event document."""
+        return sparse_cosine(
+            self._user_tfidf[user_id], self._event_tfidf[event_id]
+        )
+
+    def keyword_overlap(self, user_id: int, event_id: int) -> tuple[int, float]:
+        """Raw and Jaccard-style keyword overlap counts."""
+        user_words = self.user_keywords[user_id]
+        event_words = self.event_words[event_id]
+        overlap = len(user_words & event_words)
+        denominator = min(len(user_words), len(event_words))
+        return overlap, overlap / denominator if denominator else 0.0
+
+    def category_id(self, category: str) -> int:
+        """Stable integer id for a category (unknown → -1)."""
+        return self.category_index.get(category, -1)

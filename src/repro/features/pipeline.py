@@ -1,0 +1,202 @@
+"""Assembly of combiner feature matrices for each experiment setting.
+
+The paper's experiments are defined by which feature groups enter the
+GBDT combiner:
+
+* Table 1: {Rep only, Baseline, Baseline+Rep, Baseline+Rep+Score}
+* Table 2: {Base (No-CF), Base+CF, Base+Rep, All}
+
+:class:`FeatureSetConfig` names those settings;
+:class:`CombinerFeaturePipeline` fits the group extractors on the
+history split and materializes ``(X, y, names)`` for any target split
+via one causally correct timeline replay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.entities import Impression
+from repro.features.base_features import BaseFeatureExtractor
+from repro.features.cf_features import CFFeatureExtractor
+from repro.features.context import FeatureContext
+from repro.features.rep_features import RepresentationFeatureProvider
+from repro.features.timeline import TimelineReplayer
+
+__all__ = ["FeatureSetConfig", "CombinerFeaturePipeline"]
+
+
+@dataclass(frozen=True)
+class FeatureSetConfig:
+    """Which feature groups feed the combiner."""
+
+    include_base: bool = True
+    include_cf: bool = True
+    include_representation: bool = False
+    include_similarity_score: bool = False
+    name: str = "custom"
+
+    def __post_init__(self):
+        if not (
+            self.include_base
+            or self.include_cf
+            or self.include_representation
+            or self.include_similarity_score
+        ):
+            raise ValueError("at least one feature group must be enabled")
+
+    # Table 1 settings -------------------------------------------------
+
+    @classmethod
+    def representation_only(cls) -> "FeatureSetConfig":
+        """Row 1 of Table 1: representation vectors alone."""
+        return cls(
+            include_base=False,
+            include_cf=False,
+            include_representation=True,
+            name="Rep. Vectors",
+        )
+
+    @classmethod
+    def baseline(cls) -> "FeatureSetConfig":
+        """Row 2 of Table 1 / row 2 of Table 2: full production baseline."""
+        return cls(name="Baseline")
+
+    @classmethod
+    def baseline_plus_vectors(cls) -> "FeatureSetConfig":
+        """Row 3 of Table 1: baseline + representation vectors."""
+        return cls(include_representation=True, name="Add Rep. Vectors")
+
+    @classmethod
+    def baseline_plus_vectors_and_score(cls) -> "FeatureSetConfig":
+        """Row 4 of Table 1: baseline + vectors + similarity score."""
+        return cls(
+            include_representation=True,
+            include_similarity_score=True,
+            name="Add Score and Rep.",
+        )
+
+    # Table 2 settings -------------------------------------------------
+
+    @classmethod
+    def base_no_cf(cls) -> "FeatureSetConfig":
+        """Row 1 of Table 2: base features without CF."""
+        return cls(include_cf=False, name="Base Features (No-CF)")
+
+    @classmethod
+    def base_plus_rep(cls) -> "FeatureSetConfig":
+        """Row 3 of Table 2: base + representation, no CF."""
+        return cls(
+            include_cf=False,
+            include_representation=True,
+            name="Base and Rep. Features",
+        )
+
+    @classmethod
+    def all_features(cls) -> "FeatureSetConfig":
+        """Row 4 of Table 2: everything."""
+        return cls(
+            include_representation=True,
+            include_similarity_score=True,
+            name="All Features",
+        )
+
+
+class CombinerFeaturePipeline:
+    """Fits feature extractors and builds per-split design matrices."""
+
+    def __init__(
+        self,
+        context: FeatureContext,
+        config: FeatureSetConfig,
+        representation: RepresentationFeatureProvider | None = None,
+    ):
+        needs_rep = config.include_representation or config.include_similarity_score
+        if needs_rep and representation is None:
+            raise ValueError(
+                f"feature set {config.name!r} needs a representation provider"
+            )
+        self.context = context
+        self.config = config
+        self.base = BaseFeatureExtractor(context) if config.include_base else None
+        self.cf = CFFeatureExtractor(context) if config.include_cf else None
+        self.representation = representation if needs_rep else None
+        if self.representation is not None:
+            # Re-wrap so vector/score inclusion follows this config.
+            self.representation = RepresentationFeatureProvider(
+                representation.user_vectors,
+                representation.event_vectors,
+                include_vectors=config.include_representation,
+                include_score=config.include_similarity_score,
+            )
+        self._fitted = False
+
+    def feature_names(self) -> list[str]:
+        names: list[str] = []
+        if self.base is not None:
+            names.extend(self.base.feature_names())
+        if self.cf is not None:
+            names.extend(self.cf.feature_names())
+        if self.representation is not None:
+            names.extend(self.representation.feature_names())
+        return names
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names())
+
+    def fit(self, history: Sequence[Impression]) -> "CombinerFeaturePipeline":
+        """Fit group extractors on the history (pre-target) split."""
+        if not history:
+            raise ValueError("cannot fit on empty history")
+        if self.base is not None:
+            self.base.fit(history)
+        if self.cf is not None:
+            self.cf.fit(history)
+        self._fitted = True
+        return self
+
+    def build(
+        self,
+        targets: Sequence[Impression],
+        log: Sequence[Impression],
+    ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Materialize the design matrix for *targets*.
+
+        Args:
+            targets: impressions to featurize (one row each, in order).
+            log: the full time-sorted impression log that contains the
+                targets; live counters are replayed over it.
+
+        Returns:
+            ``(X, y, feature_names)``.
+        """
+        if not self._fitted:
+            raise RuntimeError("pipeline is not fitted")
+        if not targets:
+            raise ValueError("no target impressions")
+        num_rows = len(targets)
+        matrix = np.zeros((num_rows, self.num_features))
+        labels = np.fromiter(
+            (1.0 if imp.participated else 0.0 for imp in targets),
+            dtype=np.float64,
+            count=num_rows,
+        )
+        replayer = TimelineReplayer(log)
+        for row, impression, state in replayer.replay(targets):
+            parts = []
+            if self.base is not None:
+                parts.append(self.base.compute_row(impression, state))
+            if self.cf is not None:
+                parts.append(self.cf.compute_row(impression, state))
+            if self.representation is not None:
+                parts.append(
+                    self.representation.compute_row(
+                        impression.user_id, impression.event_id
+                    )
+                )
+            matrix[row] = np.concatenate(parts)
+        return matrix, labels, self.feature_names()

@@ -1,0 +1,110 @@
+"""Representation features for the combiner (Section 4).
+
+"We can include the similarity score (s_θ(u,e)) as a numerical
+feature.  We can also include the representation vectors (v_u and
+v_e) to allow latent topic interaction in the projected space."
+
+:class:`RepresentationFeatureProvider` holds pre-computed vectors
+(mirroring the production precompute-and-cache design) and emits, per
+impression, the concatenated ``[v_u, v_e]`` block with an optional
+cosine-score column.  Table 1's four integration settings are spanned
+by toggling ``include_vectors`` / ``include_score``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.model import JointUserEventModel
+from repro.entities import Event, User
+
+__all__ = ["RepresentationFeatureProvider"]
+
+_EPS = 1.0e-12
+
+
+class RepresentationFeatureProvider:
+    """Per-entity representation vectors, exposed as combiner features."""
+
+    def __init__(
+        self,
+        user_vectors: dict[int, np.ndarray],
+        event_vectors: dict[int, np.ndarray],
+        include_vectors: bool = True,
+        include_score: bool = False,
+    ):
+        if not user_vectors or not event_vectors:
+            raise ValueError("need at least one user and one event vector")
+        if not include_vectors and not include_score:
+            raise ValueError("provider must emit vectors, score, or both")
+        self.user_vectors = user_vectors
+        self.event_vectors = event_vectors
+        self.include_vectors = include_vectors
+        self.include_score = include_score
+        self.dim = next(iter(user_vectors.values())).shape[0]
+        event_dim = next(iter(event_vectors.values())).shape[0]
+        if event_dim != self.dim:
+            raise ValueError(
+                f"user dim {self.dim} != event dim {event_dim}"
+            )
+
+    @classmethod
+    def from_model(
+        cls,
+        model: JointUserEventModel,
+        users: Sequence[User],
+        events: Sequence[Event],
+        include_vectors: bool = True,
+        include_score: bool = False,
+    ) -> "RepresentationFeatureProvider":
+        """Pre-compute all vectors with the trained joint model."""
+        encoded_users = [model.encoder.encode_user(user) for user in users]
+        encoded_events = [model.encoder.encode_event(event) for event in events]
+        user_matrix = model.encode_users(encoded_users)
+        event_matrix = model.encode_events(encoded_events)
+        return cls(
+            user_vectors={
+                user.user_id: vector
+                for user, vector in zip(users, user_matrix)
+            },
+            event_vectors={
+                event.event_id: vector
+                for event, vector in zip(events, event_matrix)
+            },
+            include_vectors=include_vectors,
+            include_score=include_score,
+        )
+
+    def feature_names(self) -> list[str]:
+        names = []
+        if self.include_vectors:
+            names.extend(f"rep_user_{i}" for i in range(self.dim))
+            names.extend(f"rep_event_{i}" for i in range(self.dim))
+        if self.include_score:
+            names.append("rep_similarity")
+        return names
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names())
+
+    def similarity(self, user_id: int, event_id: int) -> float:
+        """Cosine of the cached vectors, s_θ(u, e)."""
+        user_vec = self.user_vectors[user_id]
+        event_vec = self.event_vectors[event_id]
+        denom = (
+            float(np.linalg.norm(user_vec)) * float(np.linalg.norm(event_vec))
+            + _EPS
+        )
+        return float(user_vec @ event_vec / denom)
+
+    def compute_row(self, user_id: int, event_id: int) -> np.ndarray:
+        parts = []
+        if self.include_vectors:
+            parts.append(self.user_vectors[user_id])
+            parts.append(self.event_vectors[event_id])
+        if self.include_score:
+            parts.append(np.array([self.similarity(user_id, event_id)]))
+        return np.concatenate(parts)

@@ -1,0 +1,107 @@
+"""Causally correct time-replay of the impression log.
+
+Several combiner features are *time-varying*: how many of the user's
+friends have already joined this event, how popular the event is right
+now.  In production these are read from live counters; offline they
+must be reconstructed so that the feature at time *t* only reflects
+outcomes strictly before *t* — otherwise the combiner trains on leaked
+future labels and the evaluation is meaningless (this is why the paper
+insists on its date-based partition for "behavior statistics
+features", Section 5.1).
+
+:class:`TimelineReplayer` walks the full time-sorted log once; when it
+reaches an impression belonging to the target set it yields the
+current :class:`TimelineState` *before* applying that impression's own
+outcome.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.entities import Impression
+
+__all__ = ["TimelineState", "TimelineReplayer"]
+
+
+@dataclass
+class TimelineState:
+    """Mutable counters describing the world at a point in time."""
+
+    event_attendees: dict[int, set[int]] = field(default_factory=dict)
+    event_clickers: dict[int, set[int]] = field(default_factory=dict)
+    event_impressions: dict[int, int] = field(default_factory=dict)
+    user_joins: dict[int, int] = field(default_factory=dict)
+    user_impressions: dict[int, int] = field(default_factory=dict)
+
+    def attendees_of(self, event_id: int) -> set[int]:
+        return self.event_attendees.get(event_id, _EMPTY_SET)
+
+    def clickers_of(self, event_id: int) -> set[int]:
+        return self.event_clickers.get(event_id, _EMPTY_SET)
+
+    def apply(self, impression: Impression) -> None:
+        """Fold one observed outcome into the counters."""
+        self.event_impressions[impression.event_id] = (
+            self.event_impressions.get(impression.event_id, 0) + 1
+        )
+        self.user_impressions[impression.user_id] = (
+            self.user_impressions.get(impression.user_id, 0) + 1
+        )
+        if impression.clicked:
+            self.event_clickers.setdefault(impression.event_id, set()).add(
+                impression.user_id
+            )
+        if impression.participated:
+            self.event_attendees.setdefault(impression.event_id, set()).add(
+                impression.user_id
+            )
+            self.user_joins[impression.user_id] = (
+                self.user_joins.get(impression.user_id, 0) + 1
+            )
+
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+
+class TimelineReplayer:
+    """Replays a time-sorted log, yielding pre-outcome state snapshots.
+
+    Args:
+        log: the complete impression log covering (at least) the time
+            range of any target set, sorted by ``shown_at``.
+    """
+
+    def __init__(self, log: Sequence[Impression]):
+        self.log = sorted(log, key=lambda imp: imp.shown_at)
+
+    def replay(
+        self, targets: Sequence[Impression]
+    ) -> Iterator[tuple[int, Impression, TimelineState]]:
+        """Yield ``(target_row, impression, state)`` in time order.
+
+        ``state`` is live (mutated as the replay advances) — consumers
+        must read everything they need before the next iteration.
+        Every target must appear in the log.
+        """
+        remaining: dict[Impression, list[int]] = {}
+        for row, impression in enumerate(targets):
+            remaining.setdefault(impression, []).append(row)
+        state = TimelineState()
+        matched = 0
+        for impression in self.log:
+            rows = remaining.get(impression)
+            if rows:
+                row = rows.pop(0)
+                if not rows:
+                    del remaining[impression]
+                matched += 1
+                yield row, impression, state
+            state.apply(impression)
+        if remaining:
+            missing = len(targets) - matched
+            raise ValueError(
+                f"{missing} target impression(s) not found in the log; "
+                f"targets must be drawn from the replayed log"
+            )

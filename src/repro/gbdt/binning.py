@@ -1,0 +1,83 @@
+"""Quantile feature binning for histogram-based GBDT training.
+
+Continuous feature values are discretized once, before boosting, into
+at most 256 quantile bins per feature.  Split search then operates on
+bin histograms instead of sorted values, which is what makes 200-tree
+training on ~10⁵ rows practical in pure numpy.  NaN values get their
+own bin (routed like any other bin value), so missing engineered
+features need no special-casing upstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FeatureBinner"]
+
+
+class FeatureBinner:
+    """Per-feature quantile binning, fit once on training data."""
+
+    def __init__(self, max_bins: int = 256):
+        if not 2 <= max_bins <= 256:
+            raise ValueError(f"max_bins must be in [2, 256], got {max_bins}")
+        self.max_bins = max_bins
+        self._edges: list[np.ndarray] | None = None
+        self.num_features: int | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._edges is not None
+
+    def fit(self, features: np.ndarray) -> "FeatureBinner":
+        """Compute bin edges from quantiles of each feature column.
+
+        Bin 0 is reserved for NaN; finite values map to bins 1..k.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        self.num_features = features.shape[1]
+        self._edges = []
+        for column in range(self.num_features):
+            values = features[:, column]
+            finite = values[np.isfinite(values)]
+            if finite.size == 0:
+                self._edges.append(np.array([]))
+                continue
+            # max_bins-1 interior edges → at most max_bins-1 finite
+            # bins, plus the NaN bin 0.
+            quantiles = np.linspace(0, 1, self.max_bins)[1:-1]
+            edges = np.unique(np.quantile(finite, quantiles))
+            self._edges.append(edges)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Map raw features to uint8 bin indices."""
+        if self._edges is None:
+            raise RuntimeError("binner is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {features.shape[1]}"
+            )
+        binned = np.zeros(features.shape, dtype=np.uint8)
+        for column, edges in enumerate(self._edges):
+            values = features[:, column]
+            finite_mask = np.isfinite(values)
+            if edges.size:
+                binned[finite_mask, column] = (
+                    np.searchsorted(edges, values[finite_mask], side="right") + 1
+                ).astype(np.uint8)
+            else:
+                binned[finite_mask, column] = 1
+        return binned
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def num_bins(self, column: int) -> int:
+        """Number of distinct bin values for a column (incl. NaN bin)."""
+        if self._edges is None:
+            raise RuntimeError("binner is not fitted")
+        return len(self._edges[column]) + 2

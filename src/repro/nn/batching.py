@@ -1,0 +1,104 @@
+"""Batching of variable-length token-id sequences.
+
+The convolution layer works on dense ``(batch, length)`` id matrices.
+:func:`pad_batch` right-pads each sequence with ``PAD_ID`` and returns
+a validity mask; :func:`window_mask` derives, for a given convolution
+window size, which window positions are real.
+
+Conventions (see DESIGN.md):
+
+* an empty sequence is replaced by a single ``UNK`` token so that every
+  document yields at least one valid convolution window;
+* a window is valid iff its **first** token is valid.  Windows hanging
+  off the end of a short document therefore exist (covering trailing
+  PAD positions, whose embedding is frozen at zero), which matches the
+  paper's behaviour of always emitting at least one window per
+  document regardless of window size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.text.vocab import PAD_ID, UNK_ID
+
+__all__ = ["PaddedBatch", "pad_batch", "window_mask"]
+
+
+class PaddedBatch:
+    """A dense batch of right-padded id sequences.
+
+    Attributes:
+        ids: ``(batch, length)`` int64 matrix, PAD-filled.
+        mask: ``(batch, length)`` bool matrix, True at real tokens.
+        lengths: ``(batch,)`` effective sequence lengths.
+    """
+
+    def __init__(self, ids: np.ndarray, mask: np.ndarray):
+        self.ids = ids
+        self.mask = mask
+        self.lengths = mask.sum(axis=1)
+
+    @property
+    def batch_size(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        return self.ids.shape[1]
+
+
+def pad_batch(
+    sequences: Sequence[np.ndarray], min_length: int = 1
+) -> PaddedBatch:
+    """Right-pad *sequences* into a :class:`PaddedBatch`.
+
+    Args:
+        sequences: one int id array per document.
+        min_length: pad the batch to at least this many columns, so a
+            convolution of window size ``d`` can always be applied by
+            passing ``min_length=d``.
+    """
+    if not sequences:
+        raise ValueError("cannot pad an empty batch")
+    fixed = [
+        seq if len(seq) else np.array([UNK_ID], dtype=np.int64)
+        for seq in sequences
+    ]
+    max_len = max(min_length, max(len(seq) for seq in fixed))
+    batch = len(fixed)
+    ids = np.full((batch, max_len), PAD_ID, dtype=np.int64)
+    mask = np.zeros((batch, max_len), dtype=bool)
+    for row, seq in enumerate(fixed):
+        ids[row, : len(seq)] = seq
+        mask[row, : len(seq)] = True
+    return PaddedBatch(ids, mask)
+
+
+def window_mask(mask: np.ndarray, window: int) -> np.ndarray:
+    """Validity of each convolution window of size *window*.
+
+    A document of ``n`` real tokens has ``max(1, n - window + 1)``
+    valid windows: the fully-in-document windows, or — for documents
+    shorter than the window — the single window starting at position 0
+    (whose trailing PAD positions contribute zero vectors).  The count
+    depends only on the document, never on how far the batch happens
+    to be padded, so encodings are invariant to batch composition.
+
+    Returns a ``(batch, length - window + 1)`` bool matrix.  Requires
+    ``mask.shape[1] >= window``.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    length = mask.shape[1]
+    if length < window:
+        raise ValueError(
+            f"batch length {length} shorter than window {window}; "
+            f"pad with min_length=window"
+        )
+    lengths = mask.sum(axis=1)
+    num_valid = np.maximum(1, lengths - window + 1)
+    positions = np.arange(length - window + 1)
+    return positions[None, :] < num_valid[:, None]

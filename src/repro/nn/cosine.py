@@ -1,0 +1,55 @@
+"""Cosine similarity head connecting the two towers (Section 3.2).
+
+    s_θ(u, e) = (v_u · v_e) / (‖v_u‖ ‖v_e‖)
+
+Forward works on batches of row vectors; backward returns gradients
+with respect to both inputs.  A small epsilon guards against zero
+vectors (which cannot occur after tanh representation layers in
+practice, but keeps the function total).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_similarity", "cosine_similarity_backward"]
+
+_EPS = 1.0e-12
+
+
+def cosine_similarity(
+    left: np.ndarray, right: np.ndarray
+) -> tuple[np.ndarray, dict]:
+    """Row-wise cosine of two ``(batch, dim)`` matrices → ``(batch,)``."""
+    left_norm = np.sqrt((left * left).sum(axis=1)) + _EPS
+    right_norm = np.sqrt((right * right).sum(axis=1)) + _EPS
+    dot = (left * right).sum(axis=1)
+    sim = dot / (left_norm * right_norm)
+    cache = {
+        "left": left,
+        "right": right,
+        "left_norm": left_norm,
+        "right_norm": right_norm,
+        "sim": sim,
+    }
+    return sim, cache
+
+
+def cosine_similarity_backward(
+    grad_out: np.ndarray, cache: dict
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of cosine w.r.t. both inputs.
+
+    d s / d left  = right / (‖l‖‖r‖) − s · left / ‖l‖²
+    d s / d right = left  / (‖l‖‖r‖) − s · right / ‖r‖²
+    """
+    left = cache["left"]
+    right = cache["right"]
+    left_norm = cache["left_norm"][:, None]
+    right_norm = cache["right_norm"][:, None]
+    sim = cache["sim"][:, None]
+    # Cast so float32 towers keep a float32 backward pass.
+    grad = grad_out[:, None].astype(left.dtype, copy=False)
+    grad_left = grad * (right / (left_norm * right_norm) - sim * left / left_norm**2)
+    grad_right = grad * (left / (left_norm * right_norm) - sim * right / right_norm**2)
+    return grad_left, grad_right

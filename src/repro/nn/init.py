@@ -1,0 +1,33 @@
+"""Weight initializers.
+
+The paper initializes "weights and lookup table values ... randomly"
+(Section 3.2.1).  We use Glorot/Xavier uniform fan-in/fan-out scaling
+for projection matrices and a small uniform range for lookup tables,
+both driven by an explicit :class:`numpy.random.Generator` so every
+run is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "uniform_embedding", "zeros"]
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_out: int, fan_in: int
+) -> np.ndarray:
+    """Glorot uniform init for a ``(fan_out, fan_in)`` projection matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def uniform_embedding(
+    rng: np.random.Generator, num_rows: int, dim: int, scale: float = 0.1
+) -> np.ndarray:
+    """Uniform ``[-scale, scale]`` init for a lookup table."""
+    return rng.uniform(-scale, scale, size=(num_rows, dim))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,120 @@
+"""Parameters and the parameter store.
+
+The paper denotes the full set of trainable values — "all projection
+matrices between network layers and lookup table values" — by θ.  Here
+θ is a :class:`ParamStore`: a named, ordered collection of
+:class:`Parameter` objects.  Layers register their parameters in the
+store; optimizers iterate over it; (de)serialization round-trips it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "ParamStore"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient buffer."""
+
+    def __init__(
+        self,
+        name: str,
+        value: np.ndarray,
+        trainable: bool = True,
+        dtype: np.dtype | type = np.float64,
+    ):
+        self.name = name
+        self.value = np.ascontiguousarray(value, dtype=dtype)
+        self.grad = np.zeros_like(self.value)
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class ParamStore:
+    """Ordered, name-keyed registry of parameters (the network's θ).
+
+    ``dtype`` fixes the precision of every parameter created through
+    the store.  float64 (default) is used wherever gradients are
+    checked against finite differences; float32 roughly halves
+    training time on BLAS-bound workloads with no measurable quality
+    difference.
+    """
+
+    def __init__(self, dtype: np.dtype | type = np.float64):
+        self._params: dict[str, Parameter] = {}
+        self.dtype = np.dtype(dtype)
+
+    def create(
+        self, name: str, value: np.ndarray, trainable: bool = True
+    ) -> Parameter:
+        """Register a new parameter; names must be unique."""
+        if name in self._params:
+            raise ValueError(f"parameter {name!r} already exists")
+        param = Parameter(name, value, trainable, dtype=self.dtype)
+        self._params[name] = param
+        return param
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._params[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._params.values())
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def names(self) -> list[str]:
+        return list(self._params)
+
+    def trainable(self) -> list[Parameter]:
+        return [param for param in self._params.values() if param.trainable]
+
+    def zero_grad(self) -> None:
+        for param in self._params.values():
+            param.zero_grad()
+
+    def num_values(self) -> int:
+        """Total number of scalar weights in the store."""
+        return sum(param.value.size for param in self._params.values())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter value, keyed by name."""
+        return {name: param.value.copy() for name, param in self._params.items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values in-place; shapes must match exactly."""
+        missing = set(self._params) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in self._params.items():
+            value = np.asarray(state[name], dtype=param.value.dtype)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"store has {param.value.shape}, state has {value.shape}"
+                )
+            param.value[...] = value
+
+    def save(self, path: str) -> None:
+        """Persist all parameter values to an ``.npz`` file."""
+        np.savez_compressed(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load parameter values from an ``.npz`` file written by :meth:`save`."""
+        with np.load(path) as payload:
+            self.load_state_dict({name: payload[name] for name in payload.files})

@@ -1,0 +1,70 @@
+"""Log-sum-exp (soft-max) pooling, Section 3.1.
+
+The paper pools the convolved window vectors per output dimension with
+the numerically stable log-sum-exp:
+
+    v_(k) = v'*_(k) + log Σ_i exp(v'_{w_i(k)} − v'*_(k)),
+    v'*_(k) = max_i v'_{w_i(k)}
+
+Invalid windows (those created by batch padding) are excluded by
+setting their pre-pool activation to a large negative constant, so
+they neither win the max nor contribute to the sum.  The backward
+pass distributes gradient with softmax weights over windows — the
+same weights the Figure-7 trace-back analysis reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_sum_exp_pool", "log_sum_exp_pool_backward", "NEG_INF"]
+
+# Large negative stand-in for -inf that keeps exp() underflow clean.
+NEG_INF = -1.0e30
+
+
+def log_sum_exp_pool(
+    window_values: np.ndarray, valid: np.ndarray, center: bool = True
+) -> tuple[np.ndarray, dict]:
+    """Pool ``(batch, windows, dim)`` activations into ``(batch, dim)``.
+
+    Args:
+        window_values: convolved window activations.
+        valid: ``(batch, windows)`` bool mask of real windows.  Every
+            row must contain at least one valid window.
+        center: subtract ``log(num_valid_windows)`` per example — the
+            log-*mean*-exp variant.  This differs from the paper's
+            Eq. 3 only by a per-document constant (the softmax window
+            weights, and hence the Figure-7 trace-back, are identical),
+            but it keeps pooled activations zero-centred at
+            initialization.  With raw LSE the ``+log n`` offset
+            (≈ 5-6 for a few hundred windows) saturates the downstream
+            tanh hidden layer and training never escapes the plateau.
+
+    Returns:
+        ``(pooled, cache)`` where cache holds the softmax weights used
+        by :func:`log_sum_exp_pool_backward` (and by the analysis
+        module to attribute pooled values to windows).
+    """
+    if not valid.any(axis=1).all():
+        raise ValueError("every sequence needs at least one valid window")
+    masked = np.where(valid[:, :, None], window_values, NEG_INF)
+    peak = masked.max(axis=1, keepdims=True)
+    shifted = np.exp(masked - peak)
+    total = shifted.sum(axis=1, keepdims=True)
+    pooled = (peak + np.log(total)).squeeze(axis=1)
+    if center:
+        counts = valid.sum(axis=1)
+        pooled = pooled - np.log(counts)[:, None].astype(pooled.dtype)
+    weights = shifted / total
+    return pooled, {"weights": weights, "valid": valid}
+
+
+def log_sum_exp_pool_backward(grad_out: np.ndarray, cache: dict) -> np.ndarray:
+    """Backward pass: gradient flows to windows by softmax weight.
+
+    Returns the gradient with respect to ``window_values``; invalid
+    windows receive (numerically) zero gradient because their softmax
+    weight underflowed to zero.
+    """
+    return grad_out[:, None, :] * cache["weights"]

@@ -1,0 +1,5 @@
+"""Serving-time representation store (TAO stand-in)."""
+
+from repro.store.cache import CacheStats, VectorCache
+
+__all__ = ["CacheStats", "VectorCache"]

@@ -1,0 +1,110 @@
+"""Representation-vector cache (stand-in for TAO, paper Section 4).
+
+"The computation ... can be greatly reduced by pre-computing and
+caching the user and event representation vectors.  User and event
+vectors are only computed upon creation and important information
+change.  They can be cached in distributed data store such as [TAO]
+for quick access at recommendation time."
+
+:class:`VectorCache` models exactly that contract in-process: entries
+are keyed by (kind, entity id) and carry a *version* fingerprint of
+the entity's information; a lookup with a stale version misses, which
+is the "recompute upon important information change" semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CacheStats", "VectorCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, observable for capacity planning."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stale_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    version: str
+    vector: np.ndarray
+    last_access: int = 0
+
+
+@dataclass
+class VectorCache:
+    """Versioned vector store with optional LRU capacity bound."""
+
+    capacity: int | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._entries: dict[tuple[str, int], _Entry] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
+        """Return the cached vector if present *and* version-current."""
+        self._clock += 1
+        entry = self._entries.get((kind, entity_id))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.version != version:
+            # Information changed since the vector was computed.
+            self.stats.misses += 1
+            self.stats.stale_hits += 1
+            del self._entries[(kind, entity_id)]
+            return None
+        entry.last_access = self._clock
+        self.stats.hits += 1
+        return entry.vector
+
+    def put(
+        self, kind: str, entity_id: int, version: str, vector: np.ndarray
+    ) -> None:
+        """Store a vector, evicting the LRU entry at capacity."""
+        self._clock += 1
+        if (
+            self.capacity is not None
+            and (kind, entity_id) not in self._entries
+            and len(self._entries) >= self.capacity
+        ):
+            victim = min(
+                self._entries, key=lambda key: self._entries[key].last_access
+            )
+            del self._entries[victim]
+        self._entries[(kind, entity_id)] = _Entry(
+            version=version,
+            vector=np.asarray(vector, dtype=np.float64).copy(),
+            last_access=self._clock,
+        )
+
+    def invalidate(self, kind: str, entity_id: int) -> bool:
+        """Explicitly drop an entry (e.g. on entity deletion)."""
+        removed = self._entries.pop((kind, entity_id), None) is not None
+        if removed:
+            self.stats.invalidations += 1
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()

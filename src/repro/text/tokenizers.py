@@ -1,0 +1,102 @@
+"""Tokenizers used by the convolutional feature extraction modules.
+
+Section 3.1 of the paper uses two tokenizers:
+
+* a **letter trigram** tokenizer for natural-language text, following
+  the DSSM convention (Huang et al., CIKM 2013): each word is wrapped
+  in boundary markers (``#``) and shingled into overlapping character
+  trigrams.  This keeps the token space small while covering rare and
+  misspelled words.
+* a **word unigram** tokenizer for id features: each categorical
+  feature-value pair ("id") is a single opaque token.
+
+Both produce a flat list of string tokens; word-position bookkeeping is
+preserved so the convolution layer can reason about word windows and
+the Figure-7 analysis can trace pooled activations back to words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.normalize import split_words
+
+__all__ = [
+    "Token",
+    "Tokenizer",
+    "LetterTrigramTokenizer",
+    "WordUnigramTokenizer",
+]
+
+_BOUNDARY = "#"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with provenance back to its source word.
+
+    Attributes:
+        text: the token string (e.g. ``"#se"`` or ``"music"``).
+        word_index: index of the originating word in the word sequence.
+    """
+
+    text: str
+    word_index: int
+
+
+class Tokenizer:
+    """Interface for tokenizers.
+
+    Subclasses turn a raw string (or id list) into a list of
+    :class:`Token`.  ``tokenize_flat`` is a convenience returning just
+    the token strings.
+    """
+
+    def tokenize(self, text: str) -> list[Token]:
+        raise NotImplementedError
+
+    def tokenize_flat(self, text: str) -> list[str]:
+        return [token.text for token in self.tokenize(text)]
+
+
+class LetterTrigramTokenizer(Tokenizer):
+    """Shingle each word into boundary-marked letter trigrams.
+
+    A word ``w`` becomes the trigrams of ``#w#``.  Words shorter than
+    the shingle width still emit one token (the whole padded word), so
+    no word silently disappears.
+
+    >>> LetterTrigramTokenizer().tokenize_flat("web")
+    ['#we', 'web', 'eb#']
+    """
+
+    def __init__(self, n: int = 3):
+        if n < 2:
+            raise ValueError(f"shingle width must be >= 2, got {n}")
+        self.n = n
+
+    def tokenize(self, text: str) -> list[Token]:
+        tokens: list[Token] = []
+        for word_index, word in enumerate(split_words(text)):
+            padded = _BOUNDARY + word + _BOUNDARY
+            if len(padded) <= self.n:
+                tokens.append(Token(padded, word_index))
+                continue
+            for start in range(len(padded) - self.n + 1):
+                tokens.append(Token(padded[start : start + self.n], word_index))
+        return tokens
+
+
+class WordUnigramTokenizer(Tokenizer):
+    """Treat every whitespace-separated item as one opaque token.
+
+    Used for id features: each categorical feature-value pair is
+    rendered as ``"<feature>=<value>"`` upstream and must survive
+    untouched, so no normalization beyond whitespace splitting is done.
+
+    >>> WordUnigramTokenizer().tokenize_flat("age=25-34 city=seattle")
+    ['age=25-34', 'city=seattle']
+    """
+
+    def tokenize(self, text: str) -> list[Token]:
+        return [Token(item, index) for index, item in enumerate(text.split())]

@@ -1,0 +1,98 @@
+"""Aggregated topic matcher and popularity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LdaModel
+from repro.baselines.popularity import PopularityModel
+from repro.baselines.topic_matcher import AggregatedTopicMatcher
+from repro.entities import Event, Impression
+
+
+def _events():
+    return [
+        Event(1, "Jazz Night", "jazz blues saxophone swing band", "music", 0, 48),
+        Event(2, "Blues Evening", "blues trumpet jazz concert stage", "music", 0, 48),
+        Event(3, "Tasting Fair", "gourmet chef tasting dishes cuisine", "food", 0, 48),
+        Event(4, "Dessert Pop-up", "bakery dessert chocolate tasting sweet", "food", 0, 48),
+    ]
+
+
+class TestAggregatedTopicMatcher:
+    @pytest.fixture()
+    def matcher(self):
+        backend = LdaModel(num_topics=2, num_iterations=40, min_df=1, seed=1)
+        history = [
+            Impression(1, 1, 1.0, True),   # user 1 attends music events
+            Impression(1, 2, 2.0, True),
+            Impression(2, 3, 3.0, True),   # user 2 attends food events
+        ]
+        return AggregatedTopicMatcher(backend).fit(_events(), history)
+
+    def test_warm_user_prefers_own_topic(self, matcher):
+        events = _events()
+        assert matcher.score(1, events[1]) > matcher.score(1, events[3])
+        assert matcher.score(2, events[3]) > matcher.score(2, events[1])
+
+    def test_cold_user_gets_uniform_mixture(self, matcher):
+        """The homogeneity-restriction failure mode the paper calls
+        out: no attended events → uninformative representation."""
+        mixture = matcher.user_mixture(99)
+        assert np.allclose(mixture, 0.5)
+
+    def test_cold_user_scores_are_indiscriminate(self, matcher):
+        events = _events()
+        scores = [matcher.score(99, event) for event in events]
+        assert max(scores) - min(scores) < 0.2
+
+    def test_unfitted_rejected(self):
+        matcher = AggregatedTopicMatcher(LdaModel(num_topics=2, min_df=1))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            matcher.user_mixture(1)
+
+    def test_needs_events(self):
+        matcher = AggregatedTopicMatcher(LdaModel(num_topics=2, min_df=1))
+        with pytest.raises(ValueError, match="need events"):
+            matcher.fit([], [])
+
+
+class TestPopularityModel:
+    @pytest.fixture()
+    def model(self):
+        history = [
+            Impression(1, 1, 1.0, True),
+            Impression(2, 1, 2.0, True),
+            Impression(3, 1, 3.0, False),
+            Impression(1, 2, 4.0, False),
+            Impression(2, 2, 5.0, False),
+        ]
+        return PopularityModel().fit(history)
+
+    def test_popular_event_ranks_higher(self, model):
+        events = _events()
+        assert model.event_popularity(events[0]) > model.event_popularity(events[1])
+
+    def test_cold_event_zero_popularity(self, model):
+        cold = Event(99, "New", "brand new event", "misc", 0, 1)
+        assert model.event_popularity(cold) == 0.0
+
+    def test_user_propensity_shrinkage(self, model):
+        # User 1: 1/2 joins; unseen user shrinks fully to global rate.
+        global_rate = 2 / 5
+        assert model.user_propensity(999) == pytest.approx(global_rate)
+        assert model.user_propensity(1) > model.user_propensity(3)
+
+    def test_recency_decay_downweights_old_joins(self):
+        history = [
+            Impression(1, 1, 0.0, True),     # old join on event 1
+            Impression(2, 2, 100.0, True),   # fresh join on event 2
+        ]
+        model = PopularityModel(recency_halflife_hours=10.0).fit(history)
+        events = _events()
+        assert model.event_popularity(events[1]) > model.event_popularity(events[0])
+
+    def test_unfitted_and_empty_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PopularityModel().event_popularity(_events()[0])
+        with pytest.raises(ValueError, match="need history"):
+            PopularityModel().fit([])

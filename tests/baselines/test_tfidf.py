@@ -1,0 +1,73 @@
+"""TF-IDF vectorizer and sparse cosine."""
+
+import math
+
+import pytest
+
+from repro.baselines.tfidf import TfIdfVectorizer, sparse_cosine
+
+
+class TestSparseCosine:
+    def test_identical_vectors(self):
+        vector = {"a": 1.0, "b": 2.0}
+        assert sparse_cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert sparse_cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty_vector(self):
+        assert sparse_cosine({}, {"a": 1.0}) == 0.0
+
+    def test_symmetric(self):
+        left = {"a": 1.0, "b": 3.0}
+        right = {"b": 2.0, "c": 1.0}
+        assert sparse_cosine(left, right) == pytest.approx(
+            sparse_cosine(right, left)
+        )
+
+
+class TestTfIdfVectorizer:
+    def test_idf_math(self):
+        vectorizer = TfIdfVectorizer().fit(["a b", "a c"])
+        vector = vectorizer.transform("a b")
+        # a: df=2 → log(3/3)+1 = 1; b: df=1 → log(3/2)+1
+        assert vector["a"] == pytest.approx(1.0)
+        assert vector["b"] == pytest.approx(math.log(3 / 2) + 1.0)
+        assert vector["b"] > vector["a"]
+
+    def test_sublinear_tf(self):
+        vectorizer = TfIdfVectorizer().fit(["a"])
+        single = vectorizer.transform("a")["a"]
+        triple = vectorizer.transform("a a a")["a"]
+        assert triple == pytest.approx(single * (1 + math.log(3)))
+
+    def test_min_df_filter_gives_default_idf(self):
+        vectorizer = TfIdfVectorizer(min_df=2).fit(["a b", "a c"])
+        vector = vectorizer.transform("b")
+        assert vector["b"] == pytest.approx(math.log(3) + 1.0)  # OOV default
+
+    def test_unknown_word_gets_max_idf(self):
+        vectorizer = TfIdfVectorizer().fit(["a b", "a c"])
+        assert vectorizer.transform("zzz")["zzz"] == pytest.approx(
+            math.log(3) + 1.0
+        )
+
+    def test_similarity_self_is_one(self):
+        vectorizer = TfIdfVectorizer().fit(["jazz night live", "food fair"])
+        assert vectorizer.similarity("jazz night", "jazz night") == pytest.approx(1.0)
+
+    def test_similarity_ordering(self):
+        vectorizer = TfIdfVectorizer().fit(
+            ["jazz night live music", "gourmet food tasting", "marathon run"]
+        )
+        same = vectorizer.similarity("jazz music", "live jazz music night")
+        cross = vectorizer.similarity("jazz music", "gourmet tasting")
+        assert same > cross
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TfIdfVectorizer().transform("a")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="empty corpus"):
+            TfIdfVectorizer().fit([])

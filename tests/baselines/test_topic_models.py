@@ -1,0 +1,98 @@
+"""LDA (collapsed Gibbs) and PLSA (EM) semantic baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LdaModel
+from repro.baselines.plsa import PlsaModel
+
+
+def _two_topic_corpus():
+    """Clearly separable two-topic corpus."""
+    music = "jazz blues saxophone trumpet swing band concert stage"
+    food = "tasting chef gourmet dishes flavors cuisine bakery dessert"
+    docs = []
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        words = rng.choice(music.split(), size=8)
+        docs.append(" ".join(words))
+        words = rng.choice(food.split(), size=8)
+        docs.append(" ".join(words))
+    return docs, music.split(), food.split()
+
+
+class TestLda:
+    def test_recovers_two_topics(self):
+        docs, music, food = _two_topic_corpus()
+        model = LdaModel(num_topics=2, num_iterations=40, min_df=1, seed=0)
+        model.fit(docs)
+        music_mix = model.infer(" ".join(music[:5]))
+        food_mix = model.infer(" ".join(food[:5]))
+        # The two inferred mixtures peak on different topics.
+        assert np.argmax(music_mix) != np.argmax(food_mix)
+        assert music_mix.max() > 0.7 and food_mix.max() > 0.7
+
+    def test_infer_is_distribution(self):
+        docs, _, _ = _two_topic_corpus()
+        model = LdaModel(num_topics=3, num_iterations=10, min_df=1).fit(docs)
+        mixture = model.infer(docs[0])
+        assert np.isclose(mixture.sum(), 1.0)
+        assert np.all(mixture >= 0)
+
+    def test_empty_document_uniform(self):
+        docs, _, _ = _two_topic_corpus()
+        model = LdaModel(num_topics=2, num_iterations=5, min_df=1).fit(docs)
+        mixture = model.infer("qqqq wwww")
+        assert np.allclose(mixture, 0.5)
+
+    def test_top_words_from_corpus(self):
+        docs, music, food = _two_topic_corpus()
+        model = LdaModel(num_topics=2, num_iterations=30, min_df=1, seed=0)
+        model.fit(docs)
+        vocabulary = set(music) | set(food)
+        for topic in range(2):
+            assert set(model.top_words(topic, 5)).issubset(vocabulary)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LdaModel().infer("a")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_topics"):
+            LdaModel(num_topics=1)
+        with pytest.raises(ValueError, match="empty"):
+            LdaModel(min_df=1).fit([])
+
+
+class TestPlsa:
+    def test_log_likelihood_increases(self):
+        docs, _, _ = _two_topic_corpus()
+        model = PlsaModel(num_topics=2, num_iterations=15, min_df=1, seed=0)
+        model.fit(docs)
+        assert model.log_likelihoods[-1] > model.log_likelihoods[0]
+
+    def test_separates_topics(self):
+        docs, music, food = _two_topic_corpus()
+        model = PlsaModel(num_topics=2, num_iterations=30, min_df=1, seed=0)
+        model.fit(docs)
+        music_mix = model.infer(" ".join(music[:5]))
+        food_mix = model.infer(" ".join(food[:5]))
+        assert np.argmax(music_mix) != np.argmax(food_mix)
+
+    def test_infer_is_distribution(self):
+        docs, _, _ = _two_topic_corpus()
+        model = PlsaModel(num_topics=4, num_iterations=10, min_df=1).fit(docs)
+        mixture = model.infer(docs[1])
+        assert np.isclose(mixture.sum(), 1.0)
+
+    def test_fold_in_does_not_change_topics(self):
+        docs, _, _ = _two_topic_corpus()
+        model = PlsaModel(num_topics=2, num_iterations=10, min_df=1).fit(docs)
+        before = model.word_given_topic.copy()
+        model.infer(docs[0])
+        assert np.array_equal(before, model.word_given_topic)
+
+    def test_oov_document_uniform(self):
+        docs, _, _ = _two_topic_corpus()
+        model = PlsaModel(num_topics=2, num_iterations=5, min_df=1).fit(docs)
+        assert np.allclose(model.infer("qqqq"), 0.5)

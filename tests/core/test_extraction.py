@@ -1,0 +1,81 @@
+"""Convolutional feature extraction module."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import ConvExtractionModule
+from repro.nn.batching import pad_batch
+from repro.nn.layers import Embedding
+from repro.nn.params import ParamStore
+
+
+@pytest.fixture()
+def module_pair(rng):
+    """Two modules with different windows sharing one lookup table."""
+    store = ParamStore()
+    embedding = Embedding(store, "emb", num_tokens=20, dim=6, rng=rng)
+    module1 = ConvExtractionModule(store, "w1", embedding, 1, 5, rng)
+    module3 = ConvExtractionModule(store, "w3", embedding, 3, 5, rng)
+    return store, embedding, module1, module3
+
+
+class TestForward:
+    def test_output_shape(self, module_pair):
+        _, _, module1, module3 = module_pair
+        batch = pad_batch(
+            [np.array([2, 3, 4, 5]), np.array([6, 7])], min_length=3
+        )
+        for module in (module1, module3):
+            pooled, _ = module.forward(batch)
+            assert pooled.shape == (2, 5)
+
+    def test_shared_embedding_receives_gradient_from_both(self, module_pair):
+        store, embedding, module1, module3 = module_pair
+        batch = pad_batch([np.array([2, 3, 4, 5])], min_length=3)
+        store.zero_grad()
+        out1, cache1 = module1.forward(batch)
+        module1.backward(np.ones_like(out1), cache1)
+        only_first = embedding.table.grad.copy()
+        out3, cache3 = module3.forward(batch)
+        module3.backward(np.ones_like(out3), cache3)
+        assert np.abs(embedding.table.grad).sum() > np.abs(only_first).sum()
+
+    def test_pooling_attribution_shape(self, module_pair):
+        _, _, _, module3 = module_pair
+        batch = pad_batch([np.arange(2, 8)], min_length=3)
+        pooled, cache = module3.forward(batch)
+        weights = module3.pooling_attribution(cache)
+        num_windows = batch.max_length - 3 + 1
+        assert weights.shape == (1, num_windows, 5)
+        # Softmax weights: each output dim's window weights sum to 1.
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_short_doc_one_window(self, module_pair):
+        """A one-token doc through a window-3 module still produces a
+        finite feature vector (the guaranteed-window rule)."""
+        _, _, _, module3 = module_pair
+        batch = pad_batch([np.array([2])], min_length=3)
+        pooled, cache = module3.forward(batch)
+        assert np.all(np.isfinite(pooled))
+        weights = module3.pooling_attribution(cache)
+        assert np.allclose(weights[0, 0, :], 1.0)  # all mass on window 0
+
+    def test_permutation_invariance_for_window_one(self, module_pair):
+        """A window-1 module with LSE pooling is order-invariant —
+        exactly why it suits unordered id features (Section 3.1.1)."""
+        _, _, module1, _ = module_pair
+        ids = np.array([2, 9, 4, 7, 3])
+        forward = module1.forward(pad_batch([ids], min_length=1))[0]
+        shuffled = module1.forward(
+            pad_batch([ids[::-1].copy()], min_length=1)
+        )[0]
+        assert np.allclose(forward, shuffled, atol=1e-9)
+
+    def test_window_three_is_order_sensitive(self, module_pair):
+        _, _, _, module3 = module_pair
+        ids = np.array([2, 9, 4, 7, 3])
+        forward = module3.forward(pad_batch([ids], min_length=3))[0]
+        swapped = module3.forward(
+            pad_batch([np.array([9, 2, 4, 7, 3])], min_length=3)
+        )[0]
+        assert not np.allclose(forward, swapped)

@@ -1,0 +1,98 @@
+"""Joint model: towers, batching, similarity, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import JointModelConfig
+from repro.core.model import JointUserEventModel
+from repro.text.documents import DocumentEncoder
+
+
+@pytest.fixture()
+def encoder(tiny_users, tiny_events):
+    return DocumentEncoder.fit(tiny_users, tiny_events, min_df=1)
+
+
+@pytest.fixture()
+def model(encoder):
+    return JointUserEventModel(JointModelConfig.small(seed=1), encoder)
+
+
+@pytest.fixture()
+def encoded(encoder, tiny_users, tiny_events):
+    return (
+        [encoder.encode_user(user) for user in tiny_users],
+        [encoder.encode_event(event) for event in tiny_events],
+    )
+
+
+class TestForward:
+    def test_similarity_in_cosine_range(self, model, encoded):
+        users, events = encoded
+        sims = model.similarity(users, events)
+        assert sims.shape == (3,)
+        assert np.all(sims >= -1.0) and np.all(sims <= 1.0)
+
+    def test_pair_mismatch_rejected(self, model, encoded):
+        users, events = encoded
+        with pytest.raises(ValueError, match="pair mismatch"):
+            model.similarity(users, events[:2])
+
+    def test_representation_shapes(self, model, encoded):
+        users, events = encoded
+        config = model.config
+        assert model.encode_users(users).shape == (3, config.representation_dim)
+        assert model.encode_events(events).shape == (3, config.representation_dim)
+
+    def test_batching_invariance(self, model, encoded):
+        """Encoding alone or with other entities in the batch gives the
+        same vectors (padding must not leak across rows)."""
+        users, _ = encoded
+        full = model.encode_users(users)
+        solo = model.encode_users([users[0]])
+        assert np.allclose(full[0], solo[0], atol=1e-6)
+
+    def test_mini_batched_encode_matches_single_batch(self, model, encoded):
+        users, _ = encoded
+        assert np.allclose(
+            model.encode_users(users, batch_size=1),
+            model.encode_users(users, batch_size=64),
+            atol=1e-6,
+        )
+
+    def test_seed_determines_weights(self, encoder, encoded):
+        users, events = encoded
+        sims = []
+        for _ in range(2):
+            model = JointUserEventModel(JointModelConfig.small(seed=7), encoder)
+            sims.append(model.similarity(users, events))
+        assert np.allclose(sims[0], sims[1])
+        other = JointUserEventModel(JointModelConfig.small(seed=8), encoder)
+        assert not np.allclose(other.similarity(users, events), sims[0])
+
+
+class TestTraining:
+    def test_train_step_accumulates_gradients(self, model, encoded):
+        users, events = encoded
+        model.store.zero_grad()
+        loss = model.train_step(users, events, np.array([1.0, 0.0, 1.0]))
+        assert loss >= 0.0
+        total = sum(float(np.abs(p.grad).sum()) for p in model.store)
+        assert total > 0.0
+
+
+class TestPersistence:
+    def test_state_round_trip_preserves_outputs(self, model, encoded, tmp_path):
+        users, events = encoded
+        before = model.similarity(users, events)
+        path = str(tmp_path / "model.npz")
+        model.store.save(path)
+        for param in model.store:
+            param.value[...] = 0.0
+        model.store.load(path)
+        assert np.allclose(model.similarity(users, events), before)
+
+    def test_num_parameters_positive_and_consistent(self, model):
+        assert model.num_parameters() == sum(
+            p.value.size for p in model.store
+        )

@@ -1,0 +1,78 @@
+"""Model bundle save/load round-tripping."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import JointModelConfig
+from repro.core.model import JointUserEventModel
+from repro.core.persistence import load_model_bundle, save_model_bundle
+from repro.text.documents import DocumentEncoder
+
+
+@pytest.fixture()
+def trained_model(tiny_users, tiny_events):
+    encoder = DocumentEncoder.fit(tiny_users, tiny_events, min_df=1)
+    model = JointUserEventModel(JointModelConfig.small(seed=4), encoder)
+    # Perturb weights so the round trip is not testing pristine init.
+    rng = np.random.default_rng(0)
+    for param in model.store:
+        param.value += 0.01 * rng.normal(size=param.value.shape)
+    return model
+
+
+class TestRoundTrip:
+    def test_outputs_identical_after_reload(
+        self, trained_model, tiny_users, tiny_events, tmp_path
+    ):
+        encoder = trained_model.encoder
+        users = [encoder.encode_user(u) for u in tiny_users]
+        events = [encoder.encode_event(e) for e in tiny_events]
+        before = trained_model.similarity(users, events)
+
+        save_model_bundle(trained_model, tmp_path / "bundle")
+        restored = load_model_bundle(tmp_path / "bundle")
+
+        restored_users = [restored.encoder.encode_user(u) for u in tiny_users]
+        restored_events = [restored.encoder.encode_event(e) for e in tiny_events]
+        after = restored.similarity(restored_users, restored_events)
+        assert np.allclose(before, after, atol=1e-6)
+
+    def test_config_round_trips(self, trained_model, tmp_path):
+        save_model_bundle(trained_model, tmp_path / "bundle")
+        restored = load_model_bundle(tmp_path / "bundle")
+        assert restored.config == trained_model.config
+
+    def test_vocabularies_round_trip(self, trained_model, tmp_path):
+        save_model_bundle(trained_model, tmp_path / "bundle")
+        restored = load_model_bundle(tmp_path / "bundle")
+        original = trained_model.encoder
+        assert (
+            restored.encoder.vocab_sizes() == original.vocab_sizes()
+        )
+        for token in ("jaz", "azz"):
+            assert restored.encoder.event_text_vocab.id_of(
+                token
+            ) == original.event_text_vocab.id_of(token)
+
+    def test_bundle_files_written(self, trained_model, tmp_path):
+        path = save_model_bundle(trained_model, tmp_path / "bundle")
+        assert (path / "config.json").exists()
+        assert (path / "vocabs.json").exists()
+        assert (path / "params.npz").exists()
+        payload = json.loads((path / "config.json").read_text())
+        assert payload["representation_dim"] == trained_model.config.representation_dim
+
+    def test_missing_file_rejected(self, trained_model, tmp_path):
+        path = save_model_bundle(trained_model, tmp_path / "bundle")
+        (path / "params.npz").unlink()
+        with pytest.raises(FileNotFoundError, match="params.npz"):
+            load_model_bundle(path)
+
+    def test_save_is_idempotent_overwrite(self, trained_model, tmp_path):
+        save_model_bundle(trained_model, tmp_path / "bundle")
+        trained_model.store["user.hidden.bias"].value[...] = 42.0
+        save_model_bundle(trained_model, tmp_path / "bundle")
+        restored = load_model_bundle(tmp_path / "bundle")
+        assert np.all(restored.store["user.hidden.bias"].value == 42.0)

@@ -1,0 +1,88 @@
+"""Serving facade: cached vectors, scoring, ranking."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import JointModelConfig
+from repro.core.model import JointUserEventModel
+from repro.core.service import RepresentationService
+from repro.store.cache import VectorCache
+from repro.text.documents import DocumentEncoder
+
+
+@pytest.fixture()
+def service(tiny_users, tiny_events):
+    encoder = DocumentEncoder.fit(tiny_users, tiny_events, min_df=1)
+    model = JointUserEventModel(JointModelConfig.small(seed=2), encoder)
+    return RepresentationService(model, VectorCache())
+
+
+class TestCachedVectors:
+    def test_second_lookup_hits_cache(self, service, tiny_users):
+        service.user_vector(tiny_users[0])
+        service.user_vector(tiny_users[0])
+        assert service.cache.stats.hits == 1
+        assert service.cache.stats.misses == 1
+
+    def test_profile_change_invalidates(self, service, tiny_users):
+        """"Vectors are only computed upon creation and important
+        information change" — changing the profile must recompute."""
+        user = tiny_users[0]
+        before = service.user_vector(user).copy()
+        changed = dataclasses.replace(
+            user, keywords=[*user.keywords, "gourmet", "tasting", "chef"]
+        )
+        after = service.user_vector(changed)
+        assert service.cache.stats.misses == 2
+        assert not np.allclose(before, after)
+
+    def test_event_text_change_invalidates(self, service, tiny_events):
+        event = tiny_events[0]
+        service.event_vector(event)
+        changed = dataclasses.replace(event, description="totally new text")
+        service.event_vector(changed)
+        assert service.cache.stats.misses == 2
+
+    def test_event_time_change_does_not_invalidate(self, service, tiny_events):
+        """Only model-visible fields participate in the event version."""
+        event = tiny_events[0]
+        service.event_vector(event)
+        moved = dataclasses.replace(event, starts_at=event.starts_at + 24)
+        service.event_vector(moved)
+        assert service.cache.stats.hits == 1
+
+    def test_warm_precomputes(self, service, tiny_users, tiny_events):
+        service.warm(tiny_users, tiny_events)
+        for user in tiny_users:
+            service.user_vector(user)
+        assert service.cache.stats.misses == 0
+        assert service.cache.stats.hits == len(tiny_users)
+
+
+class TestScoring:
+    def test_score_matches_model_similarity(self, service, tiny_users, tiny_events):
+        model = service.model
+        encoded_user = model.encoder.encode_user(tiny_users[0])
+        encoded_event = model.encoder.encode_event(tiny_events[0])
+        direct = model.similarity([encoded_user], [encoded_event])[0]
+        assert service.score(tiny_users[0], tiny_events[0]) == pytest.approx(
+            float(direct), abs=1e-6
+        )
+
+    def test_rank_excludes_expired_events(self, service, tiny_users, tiny_events):
+        # Event 3 starts at t=44; at t=50 only events 1 (starts 48? no,
+        # event 1 starts at 48) — at t=45 events 1 and 2 are active.
+        ranked = service.rank_events(tiny_users[0], tiny_events, at_time=45.0)
+        ids = {scored.event.event_id for scored in ranked}
+        assert ids == {1, 2}
+
+    def test_rank_sorted_descending(self, service, tiny_users, tiny_events):
+        ranked = service.rank_events(tiny_users[0], tiny_events)
+        scores = [scored.score for scored in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_truncates(self, service, tiny_users, tiny_events):
+        ranked = service.rank_events(tiny_users[0], tiny_events, top_k=1)
+        assert len(ranked) == 1

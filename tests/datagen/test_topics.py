@@ -1,0 +1,81 @@
+"""Ground-truth topic model."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.topics import STOPWORDS, TOPIC_NAMES, TOPICS, TopicModel
+
+
+class TestStaticStructure:
+    def test_every_topic_has_clusters_categories_templates(self):
+        for spec in TOPICS.values():
+            assert len(spec.clusters) >= 2
+            assert all(len(cluster) >= 5 for cluster in spec.clusters)
+            assert spec.categories and spec.title_templates
+
+    def test_cluster_words_unique_within_topic(self):
+        for spec in TOPICS.values():
+            words = spec.all_words()
+            assert len(words) == len(set(words)), spec.name
+
+    def test_topic_words_disjoint_from_stopwords(self):
+        stopword_set = set(STOPWORDS)
+        for spec in TOPICS.values():
+            overlap = set(spec.all_words()) & stopword_set
+            assert not overlap, f"{spec.name}: {overlap}"
+
+
+class TestTopicModel:
+    def test_unknown_topic_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            TopicModel(("nope",))
+
+    def test_mixture_sums_to_one(self, rng):
+        model = TopicModel()
+        mixture = model.sample_mixture(rng, num_active=3)
+        assert np.isclose(mixture.sum(), 1.0)
+        assert (mixture > 0).sum() <= 3
+
+    def test_num_active_bounds(self, rng):
+        model = TopicModel()
+        with pytest.raises(ValueError, match="num_active"):
+            model.sample_mixture(rng, num_active=0)
+
+    def test_sample_words_from_topic_vocabulary(self, rng):
+        model = TopicModel()
+        words = model.sample_words(rng, 0, count=30)
+        vocabulary = set(TOPICS[TOPIC_NAMES[0]].all_words())
+        assert set(words).issubset(vocabulary)
+
+    def test_cluster_loyalty_concentrates_words(self, rng):
+        model = TopicModel()
+        words = model.sample_words(
+            rng, 0, count=100, cluster_index=0, cluster_loyalty=1.0
+        )
+        cluster = set(TOPICS[TOPIC_NAMES[0]].clusters[0])
+        assert set(words).issubset(cluster)
+
+    def test_affinity_bounds_and_identity(self):
+        model = TopicModel()
+        a = np.array([1.0, 0.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0])
+        assert model.affinity(a, a) == pytest.approx(1.0)
+        assert model.affinity(a, b) == pytest.approx(0.0)
+        assert model.affinity(a, np.zeros(3)) == 0.0
+
+    def test_title_template_filled(self, rng):
+        model = TopicModel()
+        title = model.title_for(rng, 0, 0)
+        assert "{" not in title and title.strip()
+
+    def test_category_belongs_to_topic(self, rng):
+        model = TopicModel()
+        for topic_index, name in enumerate(TOPIC_NAMES):
+            category = model.category_for(rng, topic_index)
+            assert category in TOPICS[name].categories
+
+    def test_dominant_topic(self):
+        model = TopicModel()
+        mixture = np.zeros(model.num_topics)
+        mixture[4] = 1.0
+        assert model.dominant_topic(mixture) == 4

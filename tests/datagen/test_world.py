@@ -1,0 +1,145 @@
+"""User, page, event and social-graph generation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.config import DataConfig
+from repro.datagen.events import generate_events
+from repro.datagen.social import build_friendship_graph, graph_summary
+from repro.datagen.topics import TOPIC_NAMES, TOPICS, TopicModel
+from repro.datagen.users import AGE_BUCKETS, GENDERS, generate_pages, generate_users
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = DataConfig.small(seed=5)
+    rng = np.random.default_rng(config.seed)
+    topic_model = TopicModel()
+    pages = generate_pages(topic_model, config, rng)
+    users = generate_users(topic_model, pages, config, rng)
+    events = generate_events(
+        topic_model, config, users.city_centers, config.num_users, rng
+    )
+    return config, topic_model, pages, users, events
+
+
+class TestPages:
+    def test_counts_and_pure_mixtures(self, world):
+        config, topic_model, pages, _, _ = world
+        assert len(pages) == config.num_pages
+        for page in pages:
+            assert np.isclose(page.mixture.sum(), 1.0)
+            assert page.mixture.max() == 1.0
+
+    def test_titles_use_topic_words(self, world):
+        _, topic_model, pages, _, _ = world
+        for page in pages[:20]:
+            vocabulary = set(TOPICS[TOPIC_NAMES[page.topic_index]].all_words())
+            assert set(page.title.split()).issubset(vocabulary)
+
+
+class TestUsers:
+    def test_population_size_and_attributes(self, world):
+        config, _, _, users, _ = world
+        assert len(users.users) == config.num_users
+        for user in users.users[:20]:
+            assert user.categorical["age_bucket"] in AGE_BUCKETS
+            assert user.categorical["gender"] in GENDERS
+            assert user.categorical["city"].startswith("city_")
+            assert config.min_keywords <= len(user.keywords) <= config.max_keywords
+            assert len(user.page_ids) == len(user.page_titles)
+
+    def test_mixtures_sparse_and_normalized(self, world):
+        config, _, _, users, _ = world
+        active = (users.mixtures > 0).sum(axis=1)
+        assert np.all(active >= config.min_user_topics)
+        assert np.all(active <= config.max_user_topics)
+        assert np.allclose(users.mixtures.sum(axis=1), 1.0)
+
+    def test_keywords_come_from_active_topics(self, world):
+        _, topic_model, _, users, _ = world
+        for index, user in enumerate(users.users[:20]):
+            active = np.where(users.mixtures[index] > 0)[0]
+            allowed = set()
+            for topic in active:
+                allowed.update(TOPICS[TOPIC_NAMES[topic]].all_words())
+            assert set(user.keywords).issubset(allowed)
+
+    def test_page_subscriptions_prefer_own_topics(self, world):
+        """Across the population, subscribed pages match user topics
+        far more often than chance."""
+        _, topic_model, pages, users, _ = world
+        hits = total = 0
+        for index, user in enumerate(users.users):
+            active = set(np.where(users.mixtures[index] > 0)[0])
+            for page_id in user.page_ids:
+                total += 1
+                if pages[page_id].topic_index in active:
+                    hits += 1
+        chance = np.mean([(users.mixtures[i] > 0).sum() for i in range(len(users.users))]) / topic_model.num_topics
+        assert hits / total > 1.5 * chance
+
+    def test_home_near_city_center(self, world):
+        config, _, _, users, _ = world
+        for index, user in enumerate(users.users[:20]):
+            center = users.city_centers[users.city_index[index]]
+            distance = np.linalg.norm(np.asarray(user.home_location) - center)
+            assert distance < config.map_size / 2
+
+
+class TestEvents:
+    def test_counts_and_lifespans(self, world):
+        config, _, _, _, events = world
+        assert len(events.events) == config.num_events
+        for event in events.events:
+            assert 12.0 <= event.lifespan_hours <= config.max_lifespan_hours
+            assert 0.0 <= event.created_at <= config.total_hours
+
+    def test_category_matches_dominant_topic(self, world):
+        _, _, _, _, events = world
+        for index, event in enumerate(events.events):
+            topic = TOPIC_NAMES[events.topic_index[index]]
+            assert event.category in TOPICS[topic].categories
+
+    def test_description_word_counts(self, world):
+        config, _, _, _, events = world
+        for event in events.events[:20]:
+            count = len(event.description.split())
+            assert config.min_description_words <= count
+            assert count <= config.max_description_words
+
+    def test_mixtures_normalized(self, world):
+        _, _, _, _, events = world
+        assert np.allclose(events.mixtures.sum(axis=1), 1.0)
+
+
+class TestSocialGraph:
+    def test_homophily_same_city_overrepresented(self, rng):
+        num_users = 150
+        mixtures = rng.dirichlet(np.ones(4), size=num_users)
+        city = rng.integers(3, size=num_users)
+        graph = build_friendship_graph(
+            mixtures, city, mean_friends=8, topic_weight=0.0,
+            city_bonus=3.0, rng=rng,
+        )
+        same = sum(1 for u, v in graph.edges if city[u] == city[v])
+        assert same / graph.number_of_edges() > 0.55  # chance ≈ 1/3
+
+    def test_no_self_loops_and_undirected(self, rng):
+        mixtures = rng.dirichlet(np.ones(3), size=50)
+        city = rng.integers(2, size=50)
+        graph = build_friendship_graph(
+            mixtures, city, mean_friends=5, topic_weight=1.0,
+            city_bonus=1.0, rng=rng,
+        )
+        assert all(u != v for u, v in graph.edges)
+
+    def test_summary_keys(self, rng):
+        mixtures = rng.dirichlet(np.ones(3), size=30)
+        graph = build_friendship_graph(
+            mixtures, np.zeros(30, dtype=int), mean_friends=4,
+            topic_weight=1.0, city_bonus=0.0, rng=rng,
+        )
+        summary = graph_summary(graph)
+        assert summary["num_nodes"] == 30
+        assert summary["mean_degree"] > 0

@@ -1,0 +1,90 @@
+"""Calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.calibration import (
+    downsampling_correction,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated_bins(self, rng):
+        probabilities = rng.random(20000)
+        labels = (rng.random(20000) < probabilities).astype(float)
+        curve = reliability_curve(labels, probabilities, num_bins=10)
+        assert np.allclose(curve.observed_rate, curve.mean_predicted, atol=0.05)
+
+    def test_counts_partition_everything(self, rng):
+        probabilities = rng.random(500)
+        labels = rng.integers(2, size=500).astype(float)
+        curve = reliability_curve(labels, probabilities, num_bins=7)
+        assert curve.counts.sum() == 500
+
+    def test_empty_bins_dropped(self):
+        labels = np.array([1.0, 0.0])
+        probabilities = np.array([0.95, 0.96])
+        curve = reliability_curve(labels, probabilities, num_bins=10)
+        assert len(curve.counts) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            reliability_curve(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError, match="num_bins"):
+            reliability_curve(np.zeros(2), np.zeros(2), num_bins=0)
+        with pytest.raises(ValueError, match="probabilities"):
+            reliability_curve(np.zeros(1), np.array([1.5]))
+
+
+class TestECE:
+    def test_perfect_predictions_zero_ece(self):
+        labels = np.array([1.0, 1.0, 0.0, 0.0])
+        assert expected_calibration_error(labels, labels) == 0.0
+
+    def test_systematic_overprediction_detected(self, rng):
+        labels = (rng.random(5000) < 0.2).astype(float)
+        probabilities = np.full(5000, 0.8)
+        ece = expected_calibration_error(labels, probabilities)
+        assert ece == pytest.approx(0.6, abs=0.05)
+
+
+class TestDownsamplingCorrection:
+    def test_identity_at_keep_rate_one(self):
+        probabilities = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(downsampling_correction(probabilities, 1.0), probabilities)
+
+    def test_known_value(self):
+        # p=0.5 trained with keep_rate 0.25 → 0.5/(0.5+0.5/0.25) = 0.2
+        corrected = downsampling_correction(np.array([0.5]), 0.25)
+        assert corrected[0] == pytest.approx(0.2)
+
+    def test_restores_calibration_after_downsampling(self, rng):
+        """End-to-end: down-sample negatives, observe inflation, correct."""
+        true_rate = 0.05
+        labels = (rng.random(40000) < true_rate).astype(float)
+        keep_rate = 0.2
+        keep = (labels == 1.0) | (rng.random(40000) < keep_rate)
+        kept_labels = labels[keep]
+        inflated_rate = kept_labels.mean()  # ~0.2
+        corrected = downsampling_correction(
+            np.full(kept_labels.shape, inflated_rate), keep_rate
+        )
+        assert corrected[0] == pytest.approx(true_rate, abs=0.01)
+
+    @given(st.floats(0.01, 1.0), st.floats(0.0, 1.0))
+    def test_output_stays_probability(self, keep_rate, probability):
+        corrected = downsampling_correction(np.array([probability]), keep_rate)
+        assert 0.0 <= corrected[0] <= 1.0
+
+    def test_monotone(self):
+        probabilities = np.linspace(0, 1, 50)
+        corrected = downsampling_correction(probabilities, 0.3)
+        assert np.all(np.diff(corrected) >= 0)
+
+    def test_bad_keep_rate(self):
+        with pytest.raises(ValueError, match="keep_rate"):
+            downsampling_correction(np.array([0.5]), 0.0)

@@ -1,0 +1,56 @@
+"""Shared feature-extraction context."""
+
+import numpy as np
+import pytest
+
+from repro.features.context import FeatureContext
+
+
+@pytest.fixture()
+def context(tiny_users, tiny_events):
+    return FeatureContext(tiny_users, tiny_events)
+
+
+class TestLookups:
+    def test_users_and_events_by_id(self, context):
+        assert context.user(1).user_id == 1
+        assert context.event(2).event_id == 2
+
+    def test_friend_sets(self, context):
+        assert context.friend_sets[2] == {1, 3}
+
+    def test_empty_context_rejected(self, tiny_users):
+        with pytest.raises(ValueError, match="users and events"):
+            FeatureContext(tiny_users, [])
+
+
+class TestMatching:
+    def test_distance(self, context):
+        user = context.user(1)     # home (1, 2)
+        event = context.event(1)   # location (1.5, 2.5)
+        assert np.isclose(context.distance(user, event), np.sqrt(0.5))
+
+    def test_tfidf_match_higher_for_topical_pair(self, context):
+        jazz_match = context.tfidf_match(1, 1)   # jazz user, jazz event
+        cross_match = context.tfidf_match(1, 2)  # jazz user, food event
+        assert jazz_match > cross_match
+
+    def test_keyword_overlap_counts(self, context):
+        overlap, normalized = context.keyword_overlap(1, 1)
+        # "jazz" and "saxophone" both appear in the event text.
+        assert overlap >= 2
+        assert 0.0 < normalized <= 1.0
+
+    def test_keyword_overlap_zero_for_unrelated(self, context):
+        overlap, normalized = context.keyword_overlap(3, 2)
+        assert overlap == 0 and normalized == 0.0
+
+
+class TestCategories:
+    def test_stable_ids(self, context):
+        first = context.category_id("food_tasting")
+        assert first == context.category_id("food_tasting")
+        assert context.category_id("music_live") != first
+
+    def test_unknown_category(self, context):
+        assert context.category_id("nope") == -1

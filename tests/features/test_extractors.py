@@ -1,0 +1,127 @@
+"""Base and CF feature extractors."""
+
+import numpy as np
+import pytest
+
+from repro.entities import Impression
+from repro.features.base_features import BaseFeatureExtractor
+from repro.features.cf_features import CFFeatureExtractor
+from repro.features.context import FeatureContext
+from repro.features.timeline import TimelineState
+
+
+@pytest.fixture()
+def context(tiny_users, tiny_events):
+    return FeatureContext(tiny_users, tiny_events)
+
+
+def _imp(user, event, time, joined=False):
+    return Impression(user, event, time, joined)
+
+
+@pytest.fixture()
+def history():
+    return [
+        _imp(1, 1, 1.0, joined=True),
+        _imp(2, 1, 2.0, joined=False),
+        _imp(3, 1, 3.0, joined=True),
+        _imp(1, 2, 11.0, joined=False),
+        _imp(2, 2, 12.0, joined=True),
+        _imp(3, 3, 21.0, joined=True),
+    ]
+
+
+class TestBaseFeatures:
+    def test_names_match_row_width(self, context, history):
+        extractor = BaseFeatureExtractor(context).fit(history)
+        row = extractor.compute_row(_imp(1, 1, 5.0), TimelineState())
+        assert row.shape == (len(extractor.feature_names()),)
+        assert np.all(np.isfinite(row))
+
+    def test_unfitted_rejected(self, context):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            BaseFeatureExtractor(context).compute_row(
+                _imp(1, 1, 0.0), TimelineState()
+            )
+
+    def test_user_rate_reflects_history(self, context, history):
+        extractor = BaseFeatureExtractor(context).fit(history)
+        names = extractor.feature_names()
+        index = names.index("base_hist_user_rate")
+        # User 1: 1 join / 2 impressions; user 2: 1 join / 2 impressions;
+        # user 3 joined both of its impressions.
+        row_user3 = extractor.compute_row(_imp(3, 1, 5.0), TimelineState())
+        row_user2 = extractor.compute_row(_imp(2, 1, 5.0), TimelineState())
+        assert row_user3[index] > row_user2[index]
+
+    def test_cold_key_shrinks_to_global_rate(self, context, history):
+        extractor = BaseFeatureExtractor(context).fit(history)
+        names = extractor.feature_names()
+        index = names.index("base_hist_age_category_rate")
+        # An (age, category) pair never seen in history.
+        from repro.entities import Event, User
+
+        row = extractor.compute_row(_imp(1, 3, 30.0), TimelineState())
+        global_rate = sum(i.participated for i in history) / len(history)
+        assert np.isclose(row[index], global_rate, atol=1e-9)
+
+    def test_live_counters_read_from_state(self, context, history):
+        extractor = BaseFeatureExtractor(context).fit(history)
+        state = TimelineState()
+        state.apply(_imp(2, 1, 0.5, joined=True))
+        state.apply(_imp(3, 1, 0.6, joined=False))
+        row = extractor.compute_row(_imp(1, 1, 5.0), state)
+        names = extractor.feature_names()
+        assert row[names.index("base_event_joins_now")] == 1.0
+        assert row[names.index("base_event_impressions_now")] == 2.0
+
+    def test_host_is_friend(self, context, history):
+        extractor = BaseFeatureExtractor(context).fit(history)
+        names = extractor.feature_names()
+        index = names.index("base_host_is_friend")
+        # Event 1 hosted by user 2; user 1 is friends with 2.
+        assert extractor.compute_row(_imp(1, 1, 5.0), TimelineState())[index] == 1.0
+        # Event 3 hosted by user 3; user 1 is not friends with 3.
+        assert extractor.compute_row(_imp(1, 3, 25.0), TimelineState())[index] == 0.0
+
+
+class TestCFFeatures:
+    def test_names_match_row_width(self, context, history):
+        extractor = CFFeatureExtractor(context).fit(history)
+        row = extractor.compute_row(_imp(1, 1, 5.0), TimelineState())
+        assert row.shape == (len(extractor.feature_names()),)
+
+    def test_friends_joined_now(self, context, history):
+        extractor = CFFeatureExtractor(context).fit(history)
+        state = TimelineState()
+        state.apply(_imp(2, 3, 22.0, joined=True))  # friend of user 1
+        row = extractor.compute_row(_imp(1, 3, 25.0), state)
+        names = extractor.feature_names()
+        assert row[names.index("cf_friends_joined_now")] == 1.0
+        assert row[names.index("cf_friends_joined_frac")] == 1.0  # 1 of 1 friend
+
+    def test_user_user_similarity_from_co_joins(self, context, history):
+        """Users 1 and 3 co-joined event 1: cosine = 1/sqrt(n1*n3)."""
+        extractor = CFFeatureExtractor(context).fit(history)
+        state = TimelineState()
+        state.apply(_imp(3, 2, 13.0, joined=True))
+        row = extractor.compute_row(_imp(1, 2, 15.0), state)
+        names = extractor.feature_names()
+        # User 1 has 1 join in history, user 3 has 2 → sim = 1/sqrt(2).
+        assert np.isclose(
+            row[names.index("cf_user_user_join_score")], 1.0 / np.sqrt(2)
+        )
+
+    def test_host_prior_joins(self, context, history):
+        extractor = CFFeatureExtractor(context).fit(history)
+        names = extractor.feature_names()
+        index = names.index("cf_host_prior_joins")
+        # Event 1 hosted by user 2; user 1 joined event 1 in history.
+        row = extractor.compute_row(_imp(1, 1, 5.0), TimelineState())
+        assert row[index] == 1.0
+
+    def test_unfitted_rejected(self, context):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CFFeatureExtractor(context).compute_row(
+                _imp(1, 1, 0.0), TimelineState()
+            )

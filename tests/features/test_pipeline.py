@@ -1,0 +1,147 @@
+"""Feature-set configuration and pipeline assembly."""
+
+import numpy as np
+import pytest
+
+from repro.entities import Impression
+from repro.features.context import FeatureContext
+from repro.features.pipeline import CombinerFeaturePipeline, FeatureSetConfig
+from repro.features.rep_features import RepresentationFeatureProvider
+
+
+@pytest.fixture()
+def context(tiny_users, tiny_events):
+    return FeatureContext(tiny_users, tiny_events)
+
+
+@pytest.fixture()
+def provider(tiny_users, tiny_events, rng):
+    return RepresentationFeatureProvider(
+        user_vectors={u.user_id: rng.normal(size=4) for u in tiny_users},
+        event_vectors={e.event_id: rng.normal(size=4) for e in tiny_events},
+        include_vectors=True,
+        include_score=True,
+    )
+
+
+def _log():
+    return [
+        Impression(1, 1, 1.0, True),
+        Impression(2, 1, 2.0, False),
+        Impression(3, 1, 3.0, True),
+        Impression(1, 2, 11.0, False),
+        Impression(2, 2, 12.0, True),
+        Impression(3, 3, 21.0, False, clicked=True),
+    ]
+
+
+class TestFeatureSetConfig:
+    def test_paper_presets(self):
+        assert FeatureSetConfig.representation_only().include_representation
+        assert not FeatureSetConfig.representation_only().include_base
+        assert FeatureSetConfig.baseline().include_cf
+        assert not FeatureSetConfig.base_no_cf().include_cf
+        full = FeatureSetConfig.all_features()
+        assert full.include_base and full.include_cf
+        assert full.include_representation and full.include_similarity_score
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FeatureSetConfig(include_base=False, include_cf=False)
+
+
+class TestPipeline:
+    def test_baseline_matrix_shape_and_labels(self, context):
+        log = _log()
+        pipeline = CombinerFeaturePipeline(context, FeatureSetConfig.baseline())
+        pipeline.fit(log[:3])
+        matrix, labels, names = pipeline.build(log[3:], log)
+        assert matrix.shape == (3, len(names))
+        assert list(labels) == [0.0, 1.0, 0.0]
+
+    def test_representation_setting_requires_provider(self, context):
+        with pytest.raises(ValueError, match="representation provider"):
+            CombinerFeaturePipeline(
+                context, FeatureSetConfig.baseline_plus_vectors()
+            )
+
+    def test_rep_block_matches_provider(self, context, provider):
+        log = _log()
+        pipeline = CombinerFeaturePipeline(
+            context,
+            FeatureSetConfig.representation_only(),
+            representation=provider,
+        )
+        pipeline.fit(log[:3])
+        matrix, _, names = pipeline.build([log[3]], log)
+        assert names == [f"rep_user_{i}" for i in range(4)] + [
+            f"rep_event_{i}" for i in range(4)
+        ]
+        expected = np.concatenate(
+            [provider.user_vectors[1], provider.event_vectors[2]]
+        )
+        assert np.allclose(matrix[0], expected)
+
+    def test_score_column_appended_when_configured(self, context, provider):
+        log = _log()
+        pipeline = CombinerFeaturePipeline(
+            context,
+            FeatureSetConfig.baseline_plus_vectors_and_score(),
+            representation=provider,
+        )
+        pipeline.fit(log[:3])
+        matrix, _, names = pipeline.build([log[4]], log)
+        assert names[-1] == "rep_similarity"
+        assert np.isclose(matrix[0, -1], provider.similarity(2, 2))
+
+    def test_rows_align_with_target_order(self, context):
+        """Targets out of time order still land on their rows."""
+        log = _log()
+        pipeline = CombinerFeaturePipeline(context, FeatureSetConfig.baseline())
+        pipeline.fit(log[:2])
+        targets = [log[5], log[2]]  # later impression first
+        matrix, labels, _ = pipeline.build(targets, log)
+        assert list(labels) == [0.0, 1.0]
+
+    def test_build_before_fit_rejected(self, context):
+        pipeline = CombinerFeaturePipeline(context, FeatureSetConfig.baseline())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipeline.build(_log()[:1], _log())
+
+    def test_empty_inputs_rejected(self, context):
+        pipeline = CombinerFeaturePipeline(context, FeatureSetConfig.baseline())
+        with pytest.raises(ValueError, match="empty history"):
+            pipeline.fit([])
+        pipeline.fit(_log()[:2])
+        with pytest.raises(ValueError, match="no target"):
+            pipeline.build([], _log())
+
+    def test_no_cf_excludes_cf_columns(self, context):
+        pipeline = CombinerFeaturePipeline(context, FeatureSetConfig.base_no_cf())
+        assert not any(name.startswith("cf_") for name in pipeline.feature_names())
+
+
+class TestRepresentationProvider:
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="dim"):
+            RepresentationFeatureProvider(
+                user_vectors={1: rng.normal(size=3)},
+                event_vectors={1: rng.normal(size=4)},
+            )
+
+    def test_must_emit_something(self, rng):
+        with pytest.raises(ValueError, match="vectors, score, or both"):
+            RepresentationFeatureProvider(
+                user_vectors={1: rng.normal(size=3)},
+                event_vectors={1: rng.normal(size=3)},
+                include_vectors=False,
+                include_score=False,
+            )
+
+    def test_similarity_is_cosine(self, rng):
+        vector = rng.normal(size=5)
+        provider = RepresentationFeatureProvider(
+            user_vectors={1: vector},
+            event_vectors={2: 3.0 * vector},
+        )
+        assert np.isclose(provider.similarity(1, 2), 1.0, atol=1e-9)

@@ -1,0 +1,75 @@
+"""Causally correct timeline replay."""
+
+import numpy as np
+import pytest
+
+from repro.entities import Impression
+from repro.features.timeline import TimelineReplayer, TimelineState
+
+
+def _imp(user, event, time, joined=False, clicked=None):
+    return Impression(
+        user_id=user,
+        event_id=event,
+        shown_at=time,
+        participated=joined,
+        clicked=joined if clicked is None else clicked,
+    )
+
+
+class TestTimelineState:
+    def test_apply_accumulates_counters(self):
+        state = TimelineState()
+        state.apply(_imp(1, 10, 0.0, joined=True))
+        state.apply(_imp(2, 10, 1.0, joined=False, clicked=True))
+        state.apply(_imp(1, 11, 2.0, joined=False))
+        assert state.attendees_of(10) == {1}
+        assert state.clickers_of(10) == {1, 2}
+        assert state.event_impressions[10] == 2
+        assert state.user_joins[1] == 1
+        assert state.user_impressions[1] == 2
+
+    def test_unknown_event_empty_sets(self):
+        state = TimelineState()
+        assert state.attendees_of(99) == frozenset()
+        assert state.clickers_of(99) == frozenset()
+
+
+class TestReplay:
+    def test_state_excludes_current_impression(self):
+        """The snapshot at a target must not contain that target's own
+        outcome — the core no-leakage property."""
+        log = [_imp(1, 10, 0.0, joined=True), _imp(2, 10, 1.0, joined=True)]
+        replayer = TimelineReplayer(log)
+        snapshots = {}
+        for row, impression, state in replayer.replay(log):
+            snapshots[row] = set(state.attendees_of(10))
+        assert snapshots[0] == set()      # nothing happened before t=0
+        assert snapshots[1] == {1}        # only the earlier join visible
+
+    def test_targets_yield_in_time_order_with_row_mapping(self):
+        log = [_imp(1, 10, float(t), joined=False) for t in range(5)]
+        targets = [log[3], log[1]]
+        rows = [row for row, _, _ in TimelineReplayer(log).replay(targets)]
+        assert rows == [1, 0]  # time order, original row indices
+
+    def test_log_sorted_internally(self):
+        log = [_imp(1, 10, 5.0, joined=True), _imp(2, 10, 1.0)]
+        replayer = TimelineReplayer(log)
+        for _, impression, state in replayer.replay([log[0]]):
+            # The t=1 impression was applied before the t=5 target.
+            assert state.event_impressions[10] == 1
+
+    def test_missing_target_raises(self):
+        log = [_imp(1, 10, 0.0)]
+        stranger = _imp(9, 99, 0.5)
+        with pytest.raises(ValueError, match="not found"):
+            list(TimelineReplayer(log).replay([stranger]))
+
+    def test_duplicate_targets_each_get_a_row(self):
+        impression = _imp(1, 10, 0.0)
+        log = [impression, impression]
+        rows = [
+            row for row, _, _ in TimelineReplayer(log).replay([impression, impression])
+        ]
+        assert sorted(rows) == [0, 1]

@@ -1,0 +1,76 @@
+"""Quantile feature binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gbdt.binning import FeatureBinner
+
+
+class TestFit:
+    def test_rejects_bad_max_bins(self):
+        with pytest.raises(ValueError, match="max_bins"):
+            FeatureBinner(max_bins=1)
+        with pytest.raises(ValueError, match="max_bins"):
+            FeatureBinner(max_bins=500)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FeatureBinner().fit(np.ones(5))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FeatureBinner().transform(np.ones((2, 2)))
+
+
+class TestTransform:
+    def test_order_preserving(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(500, 1))
+        binner = FeatureBinner(max_bins=32)
+        binned = binner.fit_transform(features)
+        order = np.argsort(features[:, 0])
+        assert np.all(np.diff(binned[order, 0].astype(int)) >= 0)
+
+    def test_nan_goes_to_bin_zero(self):
+        features = np.array([[1.0], [np.nan], [2.0]])
+        binned = FeatureBinner().fit_transform(features)
+        assert binned[1, 0] == 0
+        assert binned[0, 0] > 0 and binned[2, 0] > 0
+
+    def test_constant_column_single_bin(self):
+        features = np.full((10, 1), 7.0)
+        binned = FeatureBinner().fit_transform(features)
+        assert np.all(binned == binned[0, 0])
+
+    def test_feature_count_mismatch_rejected(self):
+        binner = FeatureBinner().fit(np.ones((5, 2)))
+        with pytest.raises(ValueError, match="expected 2 features"):
+            binner.transform(np.ones((5, 3)))
+
+    def test_out_of_range_values_clamp_to_edge_bins(self):
+        binner = FeatureBinner(max_bins=16)
+        binner.fit(np.linspace(0, 1, 100).reshape(-1, 1))
+        binned = binner.transform(np.array([[-100.0], [100.0]]))
+        assert binned[0, 0] == 1  # below the lowest edge
+        assert binned[1, 0] == binner.num_bins(0) - 1
+
+    def test_num_bins_bounded(self):
+        rng = np.random.default_rng(1)
+        binner = FeatureBinner(max_bins=16)
+        binner.fit(rng.normal(size=(1000, 1)))
+        assert binner.num_bins(0) <= 16 + 1
+
+    @given(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=5, max_size=100
+        )
+    )
+    def test_bins_within_uint8_and_deterministic(self, values):
+        features = np.array(values).reshape(-1, 1)
+        binner = FeatureBinner(max_bins=64)
+        first = binner.fit_transform(features)
+        second = binner.transform(features)
+        assert first.dtype == np.uint8
+        assert np.array_equal(first, second)

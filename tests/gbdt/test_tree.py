@@ -1,0 +1,111 @@
+"""Single regression tree on gradient statistics."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt.binning import FeatureBinner
+from repro.gbdt.tree import RegressionTree
+
+
+def _newton_inputs(labels, scores=None):
+    """Logistic-loss gradients/hessians at given scores (default 0)."""
+    if scores is None:
+        scores = np.zeros_like(labels)
+    probabilities = 1.0 / (1.0 + np.exp(-scores))
+    return probabilities - labels, probabilities * (1.0 - probabilities)
+
+
+class TestFit:
+    def test_root_value_is_newton_step(self):
+        labels = np.array([1.0, 1.0, 0.0, 0.0])
+        gradients, hessians = _newton_inputs(labels)
+        tree = RegressionTree(max_leaves=2, min_samples_leaf=10)
+        tree.fit(np.zeros((4, 1), dtype=np.uint8), gradients, hessians)
+        expected = -gradients.sum() / (hessians.sum() + 1.0)
+        assert np.isclose(tree.nodes[0].value, expected)
+
+    def test_perfect_split_on_separable_feature(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(200, 3))
+        labels = (features[:, 1] > 0).astype(float)
+        binned = FeatureBinner().fit_transform(features)
+        gradients, hessians = _newton_inputs(labels)
+        tree = RegressionTree(max_leaves=2, min_samples_leaf=5)
+        tree.fit(binned, gradients, hessians)
+        root = tree.nodes[0]
+        assert root.feature == 1
+        predictions = tree.predict(binned)
+        assert np.all((predictions > 0) == (labels == 1.0))
+
+    def test_max_leaves_respected(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(500, 4))
+        labels = rng.integers(2, size=500).astype(float)
+        binned = FeatureBinner().fit_transform(features)
+        gradients, hessians = _newton_inputs(labels)
+        for max_leaves in (2, 5, 12):
+            tree = RegressionTree(max_leaves=max_leaves, min_samples_leaf=2)
+            tree.fit(binned, gradients, hessians)
+            assert tree.num_leaves <= max_leaves
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(100, 2))
+        labels = rng.integers(2, size=100).astype(float)
+        binned = FeatureBinner().fit_transform(features)
+        gradients, hessians = _newton_inputs(labels)
+        tree = RegressionTree(max_leaves=12, min_samples_leaf=30)
+        tree.fit(binned, gradients, hessians)
+        for node in tree.nodes:
+            if node.is_leaf:
+                assert node.num_samples >= 30
+
+    def test_pure_node_not_split(self):
+        binned = np.zeros((50, 1), dtype=np.uint8)
+        gradients = np.full(50, -0.5)
+        hessians = np.full(50, 0.25)
+        tree = RegressionTree(max_leaves=12, min_samples_leaf=1)
+        tree.fit(binned, gradients, hessians)
+        assert tree.num_leaves == 1
+
+    def test_misaligned_inputs_rejected(self):
+        tree = RegressionTree()
+        with pytest.raises(ValueError, match="align"):
+            tree.fit(np.zeros((4, 1), dtype=np.uint8), np.zeros(3), np.zeros(4))
+
+    def test_rejects_max_leaves_below_two(self):
+        with pytest.raises(ValueError, match="max_leaves"):
+            RegressionTree(max_leaves=1)
+
+
+class TestPredict:
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RegressionTree().predict(np.zeros((1, 1), dtype=np.uint8))
+
+    def test_leaf_wise_prefers_highest_gain(self):
+        """With two informative features of different strength, the
+        first (root) split uses the stronger one."""
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(400, 2))
+        strong = (features[:, 0] > 0).astype(float)
+        weak = (features[:, 1] > 0).astype(float)
+        labels = np.clip(0.8 * strong + 0.2 * weak, 0, 1)
+        labels = (rng.random(400) < labels).astype(float)
+        binned = FeatureBinner().fit_transform(features)
+        gradients, hessians = _newton_inputs(labels)
+        tree = RegressionTree(max_leaves=4, min_samples_leaf=10)
+        tree.fit(binned, gradients, hessians)
+        assert tree.nodes[0].feature == 0
+
+    def test_feature_gains_only_on_split_features(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(300, 3))
+        labels = (features[:, 2] > 0).astype(float)
+        binned = FeatureBinner().fit_transform(features)
+        gradients, hessians = _newton_inputs(labels)
+        tree = RegressionTree(max_leaves=3, min_samples_leaf=5)
+        tree.fit(binned, gradients, hessians)
+        gains = tree.feature_gains(3)
+        assert gains[2] > 0
+        assert gains[2] == gains.max()

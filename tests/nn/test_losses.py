@@ -1,0 +1,91 @@
+"""Loss functions: Equation-1 contrastive loss, BCE, sigmoid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.losses import binary_cross_entropy, contrastive_loss, sigmoid
+
+
+class TestContrastiveLoss:
+    def test_positive_pair_loss_is_one_minus_similarity(self):
+        loss, grad = contrastive_loss(np.array([0.3]), np.array([1.0]))
+        assert np.isclose(loss, 0.7)
+        assert np.allclose(grad, [-1.0])
+
+    def test_negative_above_margin_hinges(self):
+        loss, grad = contrastive_loss(np.array([0.4]), np.array([0.0]), margin=0.1)
+        assert np.isclose(loss, 0.3)
+        assert np.allclose(grad, [1.0])
+
+    def test_negative_below_margin_is_free(self):
+        loss, grad = contrastive_loss(np.array([-0.2]), np.array([0.0]), margin=0.0)
+        assert loss == 0.0
+        assert np.allclose(grad, [0.0])
+
+    def test_mean_over_batch(self):
+        sims = np.array([1.0, 0.5, -1.0, 0.5])
+        labels = np.array([1.0, 1.0, 0.0, 0.0])
+        loss, grad = contrastive_loss(sims, labels, margin=0.0)
+        assert np.isclose(loss, (0.0 + 0.5 + 0.0 + 0.5) / 4)
+        assert np.allclose(grad, [-0.25, -0.25, 0.0, 0.25])
+
+    def test_perfect_separation_zero_loss(self):
+        sims = np.array([1.0, -0.5])
+        labels = np.array([1.0, 0.0])
+        loss, _ = contrastive_loss(sims, labels)
+        assert loss == 0.0
+
+    @given(
+        st.floats(-1.0, 1.0),
+        st.booleans(),
+        st.floats(-0.5, 0.5),
+    )
+    def test_loss_nonnegative_and_grad_is_subgradient(self, sim, label, margin):
+        sims = np.array([sim])
+        labels = np.array([1.0 if label else 0.0])
+        loss, grad = contrastive_loss(sims, labels, margin=margin)
+        assert loss >= 0.0
+        # Finite-difference check away from the hinge kink.
+        if not label and abs(sim - margin) < 1e-4:
+            return
+        eps = 1e-6
+        up, _ = contrastive_loss(sims + eps, labels, margin=margin)
+        down, _ = contrastive_loss(sims - eps, labels, margin=margin)
+        assert np.isclose(grad[0], (up - down) / (2 * eps), atol=1e-4)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_extreme_logits_do_not_overflow(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == 0.0 or values[0] < 1e-300
+        assert np.isclose(values[1], 1.0)
+        assert np.all(np.isfinite(values))
+
+    def test_symmetry(self):
+        logits = np.array([-3.0, -1.0, 0.5, 2.0])
+        assert np.allclose(sigmoid(logits) + sigmoid(-logits), 1.0)
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=20))
+    def test_range_and_monotonicity(self, logits):
+        values = sigmoid(np.array(sorted(logits)))
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+        assert np.all(np.diff(values) >= -1e-12)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = binary_cross_entropy(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        assert loss < 1e-9
+
+    def test_uniform_prediction_is_log2(self):
+        loss = binary_cross_entropy(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        assert np.isclose(loss, np.log(2))
+
+    def test_confidently_wrong_is_large_but_finite(self):
+        loss = binary_cross_entropy(np.array([0.0]), np.array([1.0]))
+        assert np.isfinite(loss) and loss > 20.0

@@ -1,0 +1,92 @@
+"""Parameter store behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.params import ParamStore
+
+
+class TestCreate:
+    def test_registers_and_retrieves(self):
+        store = ParamStore()
+        store.create("a", np.ones(3))
+        assert "a" in store
+        assert store["a"].shape == (3,)
+
+    def test_duplicate_name_rejected(self):
+        store = ParamStore()
+        store.create("a", np.ones(1))
+        with pytest.raises(ValueError, match="already exists"):
+            store.create("a", np.ones(1))
+
+    def test_dtype_control(self):
+        store = ParamStore(dtype=np.float32)
+        param = store.create("a", np.ones(2))
+        assert param.value.dtype == np.float32
+        assert param.grad.dtype == np.float32
+
+    def test_order_preserved(self):
+        store = ParamStore()
+        for name in ("z", "a", "m"):
+            store.create(name, np.ones(1))
+        assert store.names() == ["z", "a", "m"]
+
+
+class TestGradients:
+    def test_zero_grad(self):
+        store = ParamStore()
+        param = store.create("a", np.ones(2))
+        param.grad[...] = 5.0
+        store.zero_grad()
+        assert np.all(param.grad == 0.0)
+
+    def test_trainable_filter(self):
+        store = ParamStore()
+        store.create("frozen", np.ones(1), trainable=False)
+        store.create("live", np.ones(1))
+        assert [p.name for p in store.trainable()] == ["live"]
+
+
+class TestState:
+    def test_state_dict_is_a_copy(self):
+        store = ParamStore()
+        param = store.create("a", np.ones(2))
+        state = store.state_dict()
+        param.value[...] = 99.0
+        assert np.all(state["a"] == 1.0)
+
+    def test_load_state_dict_round_trip(self):
+        store = ParamStore()
+        store.create("a", np.arange(4.0))
+        state = store.state_dict()
+        store["a"].value[...] = 0.0
+        store.load_state_dict(state)
+        assert np.allclose(store["a"].value, np.arange(4.0))
+
+    def test_load_missing_key_rejected(self):
+        store = ParamStore()
+        store.create("a", np.ones(1))
+        with pytest.raises(KeyError, match="missing"):
+            store.load_state_dict({})
+
+    def test_load_shape_mismatch_rejected(self):
+        store = ParamStore()
+        store.create("a", np.ones(2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            store.load_state_dict({"a": np.ones(3)})
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        store = ParamStore()
+        store.create("a", np.arange(6.0).reshape(2, 3))
+        store.create("b", np.ones(1))
+        path = str(tmp_path / "params.npz")
+        store.save(path)
+        store["a"].value[...] = -1.0
+        store.load(path)
+        assert np.allclose(store["a"].value, np.arange(6.0).reshape(2, 3))
+
+    def test_num_values(self):
+        store = ParamStore()
+        store.create("a", np.ones((2, 3)))
+        store.create("b", np.ones(5))
+        assert store.num_values() == 11

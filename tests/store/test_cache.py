@@ -1,0 +1,104 @@
+"""Versioned representation-vector cache (TAO stand-in)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.store.cache import VectorCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = VectorCache()
+        assert cache.get("user", 1, "v1") is None
+        cache.put("user", 1, "v1", np.ones(4))
+        assert np.allclose(cache.get("user", 1, "v1"), 1.0)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_kinds_are_separate_namespaces(self):
+        cache = VectorCache()
+        cache.put("user", 1, "v", np.zeros(2))
+        assert cache.get("event", 1, "v") is None
+
+    def test_stored_vector_is_a_copy(self):
+        cache = VectorCache()
+        vector = np.ones(3)
+        cache.put("user", 1, "v", vector)
+        vector[...] = 99.0
+        assert np.allclose(cache.get("user", 1, "v"), 1.0)
+
+
+class TestVersioning:
+    def test_stale_version_misses_and_evicts(self):
+        """The "recompute upon important information change" semantics."""
+        cache = VectorCache()
+        cache.put("user", 1, "v1", np.ones(2))
+        assert cache.get("user", 1, "v2") is None
+        assert cache.stats.stale_hits == 1
+        assert len(cache) == 0
+
+    def test_new_version_overwrites(self):
+        cache = VectorCache()
+        cache.put("user", 1, "v1", np.ones(2))
+        cache.put("user", 1, "v2", np.full(2, 7.0))
+        assert np.allclose(cache.get("user", 1, "v2"), 7.0)
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_explicit_invalidate(self):
+        cache = VectorCache()
+        cache.put("event", 5, "v", np.ones(1))
+        assert cache.invalidate("event", 5)
+        assert not cache.invalidate("event", 5)
+        assert cache.get("event", 5, "v") is None
+        assert cache.stats.invalidations == 1
+
+    def test_clear(self):
+        cache = VectorCache()
+        for i in range(5):
+            cache.put("user", i, "v", np.ones(1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        cache = VectorCache(capacity=2)
+        cache.put("user", 1, "v", np.ones(1))
+        cache.put("user", 2, "v", np.ones(1))
+        cache.get("user", 1, "v")               # touch 1 → 2 becomes LRU
+        cache.put("user", 3, "v", np.ones(1))   # evicts 2
+        assert cache.get("user", 1, "v") is not None
+        assert cache.get("user", 2, "v") is None
+        assert cache.get("user", 3, "v") is not None
+
+    def test_update_does_not_evict(self):
+        cache = VectorCache(capacity=1)
+        cache.put("user", 1, "v1", np.ones(1))
+        cache.put("user", 1, "v2", np.ones(1))
+        assert len(cache) == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            VectorCache(capacity=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = VectorCache()
+        cache.put("user", 1, "v", np.ones(1))
+        cache.get("user", 1, "v")
+        cache.get("user", 2, "v")
+        assert cache.stats.hit_rate == 0.5
+
+    def test_empty_hit_rate(self):
+        assert VectorCache().stats.hit_rate == 0.0
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=60))
+    def test_capacity_never_exceeded(self, ids):
+        cache = VectorCache(capacity=3)
+        for entity_id in ids:
+            cache.put("user", entity_id, "v", np.ones(1))
+            assert len(cache) <= 3

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--scale", "small", "--seed", "3", "--out", "x.json.gz"]
+        )
+        assert args.command == "generate"
+        assert args.seed == 3
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--scale", "huge", "--out", "x"])
+
+    def test_experiment_table_choices(self):
+        args = build_parser().parse_args(["experiment", "--tables", "2"])
+        assert args.tables == [2]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--tables", "3"])
+
+
+class TestEndToEnd:
+    def test_generate_train_recommend_cycle(self, tmp_path, capsys):
+        dataset_path = str(tmp_path / "world.json.gz")
+        assert main(["generate", "--scale", "small", "--seed", "5",
+                     "--out", dataset_path]) == 0
+        bundle_path = str(tmp_path / "bundle")
+        assert main(["train", "--dataset", dataset_path, "--bundle", bundle_path,
+                     "--model-scale", "small", "--epochs", "1"]) == 0
+        assert main(["recommend", "--dataset", dataset_path,
+                     "--bundle", bundle_path, "--user-id", "0",
+                     "--at-time", "900", "--top-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top" in out and "user 0" in out
+
+    def test_recommend_unknown_user_fails(self, tmp_path, capsys):
+        dataset_path = str(tmp_path / "world.json.gz")
+        main(["generate", "--scale", "small", "--seed", "5", "--out", dataset_path])
+        bundle_path = str(tmp_path / "bundle")
+        main(["train", "--dataset", dataset_path, "--bundle", bundle_path,
+              "--model-scale", "small", "--epochs", "1"])
+        assert main(["recommend", "--dataset", dataset_path,
+                     "--bundle", bundle_path, "--user-id", "99999",
+                     "--at-time", "900"]) == 2

@@ -1,0 +1,78 @@
+"""User / Event / Impression record behaviour."""
+
+import pytest
+
+from repro.entities import Event, Impression, User
+
+
+class TestUser:
+    def test_id_tokens_render_feature_value_pairs(self, tiny_users):
+        tokens = tiny_users[0].id_tokens()
+        assert "age_bucket=25-34" in tokens
+        assert "page=10" in tokens and "page=11" in tokens
+
+    def test_id_tokens_sorted_and_stable(self, tiny_users):
+        assert tiny_users[0].id_tokens() == tiny_users[0].id_tokens()
+
+    def test_text_document_combines_keywords_and_titles(self, tiny_users):
+        doc = tiny_users[0].text_document()
+        assert "jazz" in doc and "downtown" in doc
+
+    def test_dict_round_trip(self, tiny_users):
+        user = tiny_users[1]
+        restored = User.from_dict(user.to_dict())
+        assert restored == user
+
+
+class TestEvent:
+    def test_lifespan(self, tiny_events):
+        assert tiny_events[0].lifespan_hours == 48.0
+
+    def test_is_active_window(self, tiny_events):
+        event = tiny_events[1]  # created 10, starts 60
+        assert not event.is_active(5.0)
+        assert event.is_active(10.0)
+        assert event.is_active(59.9)
+        assert not event.is_active(60.0)  # expired at start time
+
+    def test_text_document_parts(self, tiny_events):
+        doc = tiny_events[0].text_document()
+        assert doc.startswith("Jazz Night")
+        assert doc.endswith("music_live")
+
+    def test_text_document_skips_empty_parts(self):
+        event = Event(1, "Title", "", "", 0, 1)
+        assert event.text_document() == "Title"
+
+    def test_dict_round_trip(self, tiny_events):
+        event = tiny_events[2]
+        restored = Event.from_dict(event.to_dict())
+        assert restored == event
+
+
+class TestImpression:
+    def test_participation_implies_click(self):
+        impression = Impression(1, 2, 3.0, participated=True, clicked=False)
+        assert impression.clicked
+
+    def test_click_without_participation_allowed(self):
+        impression = Impression(1, 2, 3.0, participated=False, clicked=True)
+        assert impression.clicked and not impression.participated
+
+    def test_dict_round_trip(self):
+        impression = Impression(1, 2, 3.5, participated=False, clicked=True)
+        assert Impression.from_dict(impression.to_dict()) == impression
+
+    def test_from_dict_defaults_clicked_to_participated(self):
+        payload = {
+            "user_id": 1,
+            "event_id": 2,
+            "shown_at": 3.0,
+            "participated": True,
+        }
+        assert Impression.from_dict(payload).clicked
+
+    def test_hashable_value_semantics(self):
+        a = Impression(1, 2, 3.0, True)
+        b = Impression(1, 2, 3.0, True)
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,55 @@
+"""Normalization and word splitting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.normalize import normalize_text, split_words
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Seattle ICE Cream") == "seattle ice cream"
+
+    def test_punctuation_becomes_space(self):
+        assert normalize_text("jazz, blues & swing!") == "jazz blues swing"
+
+    def test_hyphen_splits_words(self):
+        assert normalize_text("ice-cream") == "ice cream"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("a   b \t c\nd") == "a b c d"
+
+    def test_keeps_digits(self):
+        assert normalize_text("Easter at 3:00pm") == "easter at 3 00pm"
+
+    def test_empty(self):
+        assert normalize_text("") == ""
+        assert normalize_text("!!! ???") == ""
+
+
+class TestSplitWords:
+    def test_basic(self):
+        assert split_words("Jazz Night!") == ["jazz", "night"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert split_words("Seattle's best") == ["seattle's", "best"]
+
+    def test_strips_edge_apostrophes(self):
+        assert split_words("'quoted'") == ["quoted"]
+
+    def test_pure_apostrophes_dropped(self):
+        assert split_words("'' a") == ["a"]
+
+    def test_empty_text(self):
+        assert split_words("") == []
+
+    @given(st.text(max_size=200))
+    def test_never_crashes_and_no_empty_words(self, text):
+        words = split_words(text)
+        assert all(words), "no empty strings in output"
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=20))
+    def test_idempotent_on_clean_words(self, word):
+        once = split_words(word)
+        assert split_words(" ".join(once)) == once

@@ -1,0 +1,66 @@
+"""Letter-trigram and word-unigram tokenizers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizers import LetterTrigramTokenizer, WordUnigramTokenizer
+
+
+class TestLetterTrigramTokenizer:
+    def test_boundary_marked_shingles(self):
+        assert LetterTrigramTokenizer().tokenize_flat("web") == ["#we", "web", "eb#"]
+
+    def test_multi_word_provenance(self):
+        tokens = LetterTrigramTokenizer().tokenize("ice cream")
+        words = {token.word_index for token in tokens}
+        assert words == {0, 1}
+        # Trigrams never span words.
+        for token in tokens:
+            assert len(token.text) <= 3
+
+    def test_single_letter_word_survives(self):
+        tokens = LetterTrigramTokenizer().tokenize_flat("a")
+        assert tokens == ["#a#"]
+
+    def test_two_letter_word(self):
+        assert LetterTrigramTokenizer().tokenize_flat("of") == ["#of", "of#"]
+
+    def test_normalization_applied(self):
+        upper = LetterTrigramTokenizer().tokenize_flat("JAZZ!")
+        lower = LetterTrigramTokenizer().tokenize_flat("jazz")
+        assert upper == lower
+
+    def test_empty_text(self):
+        assert LetterTrigramTokenizer().tokenize("") == []
+
+    def test_custom_shingle_width(self):
+        assert LetterTrigramTokenizer(n=4).tokenize_flat("web") == ["#web", "web#"]
+
+    def test_rejects_width_below_two(self):
+        with pytest.raises(ValueError, match="shingle width"):
+            LetterTrigramTokenizer(n=1)
+
+    @given(st.text(max_size=100))
+    def test_token_count_reasonable(self, text):
+        """Each word of length L yields exactly max(1, L-n+3) trigrams."""
+        from repro.text.normalize import split_words
+
+        tokens = LetterTrigramTokenizer().tokenize_flat(text)
+        expected = sum(
+            max(1, len(word) + 2 - 3 + 1) for word in split_words(text)
+        )
+        assert len(tokens) == expected
+
+
+class TestWordUnigramTokenizer:
+    def test_ids_pass_through_untouched(self):
+        tokens = WordUnigramTokenizer().tokenize_flat("age=25-34 city=SEATTLE")
+        assert tokens == ["age=25-34", "city=SEATTLE"]
+
+    def test_word_index_is_position(self):
+        tokens = WordUnigramTokenizer().tokenize("a b c")
+        assert [token.word_index for token in tokens] == [0, 1, 2]
+
+    def test_empty(self):
+        assert WordUnigramTokenizer().tokenize("") == []
