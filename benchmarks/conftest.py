@@ -11,11 +11,18 @@ table/figure bench.  Scale is controlled by ``REPRO_BENCH_SCALE``:
 Each bench writes its reproduced table/figure to
 ``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
 output capture.
+
+Every benchmark session also emits ``benchmarks/results/telemetry.jsonl``
+— per-test wall-time records plus a final metrics snapshot (training
+gauges, serving latency histograms, cache counters) captured through
+:mod:`repro.obs`.  Disable with ``REPRO_BENCH_TELEMETRY=0`` to measure
+the no-op-registry configuration (the default for library users).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -24,8 +31,44 @@ from repro.core.config import JointModelConfig, TrainingConfig
 from repro.datagen import DataConfig, build_dataset
 from repro.eval.protocol import TwoStageExperiment
 from repro.gbdt.boosting import GBDTConfig
+from repro.obs import MetricsRegistry, TelemetryWriter, use_registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _telemetry_enabled() -> bool:
+    return os.environ.get("REPRO_BENCH_TELEMETRY", "1") != "0"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Session-wide registry; snapshot written at teardown."""
+    if not _telemetry_enabled():
+        yield None
+        return
+    with use_registry(MetricsRegistry()) as registry:
+        yield registry
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with TelemetryWriter(RESULTS_DIR / "telemetry.jsonl") as writer:
+            writer.write(
+                {"record": "run", "command": "benchmarks", "scale": _scale()}
+            )
+            writer.write_snapshot(registry, command="benchmarks")
+
+
+@pytest.fixture(autouse=True)
+def bench_test_timing(request, bench_telemetry):
+    """Per-test wall time into ``repro_bench_test_seconds{test=...}``."""
+    if bench_telemetry is None:
+        yield
+        return
+    start = time.perf_counter()
+    yield
+    bench_telemetry.histogram(
+        "repro_bench_test_seconds",
+        tags={"test": request.node.name},
+        buckets=(0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0),
+    ).observe(time.perf_counter() - start)
 
 
 def _scale() -> str:

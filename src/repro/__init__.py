@@ -13,6 +13,7 @@ API:
 * :mod:`repro.baselines` — LDA / PLSA / TF-IDF / popularity baselines.
 * :mod:`repro.eval` — metrics and the two-stage experiment protocol.
 * :mod:`repro.store` — the serving-time representation cache.
+* :mod:`repro.obs` — telemetry: metrics, spans, structured logs.
 """
 
 from repro.core import (

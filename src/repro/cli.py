@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the life cycle a downstream user needs:
+Five subcommands cover the life cycle a downstream user needs:
 
 * ``repro-events generate`` — synthesize a dataset and save it;
 * ``repro-events train`` — train the joint representation model on a
@@ -8,15 +8,24 @@ Four subcommands cover the life cycle a downstream user needs:
 * ``repro-events recommend`` — load a bundle + dataset and rank the
   active events for a user;
 * ``repro-events experiment`` — run the paper's Table-1/Table-2
-  evaluation end-to-end and print the reproduced tables.
+  evaluation end-to-end and print the reproduced tables;
+* ``repro-events metrics`` — render the final metrics snapshot of a
+  telemetry file (written via ``--metrics-out``) as Prometheus text.
 
 Examples::
 
     repro-events generate --scale small --seed 7 --out world.json.gz
-    repro-events train --dataset world.json.gz --bundle model_bundle
+    repro-events train --dataset world.json.gz --bundle model_bundle \\
+        --metrics-out telemetry.jsonl
     repro-events recommend --dataset world.json.gz --bundle model_bundle \\
         --user-id 3 --at-time 900 --top-k 5
     repro-events experiment --scale small --tables 1 2
+    repro-events metrics --telemetry telemetry.jsonl
+
+``--metrics-out PATH`` (on ``train`` and ``experiment``) enables the
+telemetry registry for the run and writes a JSONL file of per-epoch
+records plus a final metrics snapshot — see the Observability section
+of README.md.
 """
 
 from __future__ import annotations
@@ -36,6 +45,13 @@ from repro.datagen.dataset import EventRecDataset, build_dataset
 from repro.eval.protocol import TwoStageExperiment
 from repro.eval.reporting import format_table, render_pr_curves
 from repro.gbdt.boosting import GBDTConfig
+from repro.obs import (
+    MetricsRegistry,
+    TelemetryWriter,
+    last_snapshot,
+    render_prometheus,
+    use_registry,
+)
 from repro.text.documents import DocumentEncoder
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=12)
     train.add_argument("--learning-rate", type=float, default=0.015)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable telemetry and write a JSONL telemetry file here",
+    )
 
     recommend = commands.add_parser(
         "recommend", help="rank active events for a user"
@@ -95,6 +115,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--curves", action="store_true",
                             help="also render ASCII P/R curves")
+    experiment.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable telemetry and write a JSONL telemetry file here",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="render a telemetry snapshot as Prometheus text"
+    )
+    metrics.add_argument(
+        "--telemetry", required=True,
+        help="JSONL telemetry file written by --metrics-out",
+    )
+    metrics.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus"
+    )
     return parser
 
 
@@ -109,6 +144,39 @@ def _cmd_generate(args) -> int:
         f"positive_rate={summary['positive_rate']:.3f}"
     )
     return 0
+
+
+def _epoch_telemetry_hook(writer: TelemetryWriter):
+    """An ``on_epoch_end`` callback appending epoch records to JSONL."""
+
+    def on_epoch_end(epoch_index, stats):
+        record = {"record": "epoch"}
+        record.update(
+            {key: float(value) for key, value in stats.items()}
+        )
+        record["epoch"] = int(stats["epoch"])
+        writer.write(record)
+
+    return on_epoch_end
+
+
+def _serving_smoke(model, dataset, sample_size: int = 20) -> None:
+    """Exercise the serving path so its histograms land in telemetry.
+
+    A train run never serves; encoding a small cohort cold and then
+    ranking it warm populates encode/score/rank latencies and the
+    cache hit-rate the snapshot exports — the Section-4
+    capacity-planning signals.
+    """
+    service = RepresentationService(model)
+    users = dataset.users[:sample_size]
+    events = dataset.events[: sample_size * 5]
+    for user in users:
+        service.user_vector(user)
+    for event in events:
+        service.event_vector(event)
+    for user in users:
+        service.rank_events(user, events, top_k=10)
 
 
 def _cmd_train(args) -> int:
@@ -130,14 +198,28 @@ def _cmd_train(args) -> int:
         [1.0 if i.participated else 0.0 for i in splits.representation_train]
     )
     print(f"training on {len(labels)} pairs ...")
-    history = RepresentationTrainer(
+    trainer = RepresentationTrainer(
         model,
         TrainingConfig(
             epochs=args.epochs,
             learning_rate=args.learning_rate,
             seed=args.seed,
         ),
-    ).fit(pairs_u, pairs_e, labels)
+    )
+    if args.metrics_out:
+        with use_registry(MetricsRegistry()) as registry:
+            with TelemetryWriter(args.metrics_out) as writer:
+                writer.write({"record": "run", "command": "train",
+                              "dataset": args.dataset, "epochs": args.epochs})
+                history = trainer.fit(
+                    pairs_u, pairs_e, labels,
+                    on_epoch_end=_epoch_telemetry_hook(writer),
+                )
+                _serving_smoke(model, dataset)
+                writer.write_snapshot(registry, command="train")
+        print(f"telemetry written to {args.metrics_out}")
+    else:
+        history = trainer.fit(pairs_u, pairs_e, labels)
     print(
         f"  {history.epochs_run} epochs, best epoch {history.best_epoch}, "
         f"final val loss {history.validation_losses[-1]:.4f}"
@@ -190,18 +272,48 @@ def _cmd_experiment(args) -> int:
         use_siamese_init=True,
         min_df=1 if args.scale == "small" else 2,
     )
-    print("preparing (training representation model) ...")
-    experiment.prepare()
-    if 1 in args.tables:
-        results = experiment.run_table1()
-        print(format_table(results, "TABLE 1 — integration settings"))
-        if args.curves:
-            print(render_pr_curves(results))
-    if 2 in args.tables:
-        results = experiment.run_table2()
-        print(format_table(results, "TABLE 2 — feature combinations"))
-        if args.curves:
-            print(render_pr_curves(results))
+    def run() -> None:
+        print("preparing (training representation model) ...")
+        experiment.prepare()
+        if 1 in args.tables:
+            results = experiment.run_table1()
+            print(format_table(results, "TABLE 1 — integration settings"))
+            if args.curves:
+                print(render_pr_curves(results))
+        if 2 in args.tables:
+            results = experiment.run_table2()
+            print(format_table(results, "TABLE 2 — feature combinations"))
+            if args.curves:
+                print(render_pr_curves(results))
+
+    if args.metrics_out:
+        with use_registry(MetricsRegistry()) as registry:
+            run()
+            with TelemetryWriter(args.metrics_out) as writer:
+                writer.write({"record": "run", "command": "experiment",
+                              "scale": args.scale, "tables": list(args.tables)})
+                writer.write_snapshot(registry, command="experiment")
+        print(f"telemetry written to {args.metrics_out}")
+    else:
+        run()
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    try:
+        snapshot = last_snapshot(args.telemetry)
+    except FileNotFoundError:
+        print(f"error: telemetry file not found: {args.telemetry}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(snapshot), end="")
     return 0
 
 
@@ -210,12 +322,21 @@ _COMMANDS = {
     "train": _cmd_train,
     "recommend": _cmd_recommend,
     "experiment": _cmd_experiment,
+    "metrics": _cmd_metrics,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `... | head`);
+        # exit quietly with the conventional SIGPIPE status.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

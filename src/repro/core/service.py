@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -20,11 +21,16 @@ import numpy as np
 
 from repro.core.model import JointUserEventModel
 from repro.entities import Event, User
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.spans import span
 from repro.store.cache import VectorCache
 
 __all__ = ["ScoredEvent", "RepresentationService"]
 
 _EPS = 1.0e-12
+
+# Candidate-pool sizes are counts, not latencies: linear-ish buckets.
+_CANDIDATE_BUCKETS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000, 10000)
 
 
 @dataclass(frozen=True)
@@ -51,9 +57,38 @@ class RepresentationService:
         self,
         model: JointUserEventModel,
         cache: VectorCache | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.model = model
         self.cache = cache if cache is not None else VectorCache()
+        # None → resolve the global registry at call time, so telemetry
+        # enabled after construction is still picked up.
+        self._registry = registry
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def _obs(self) -> MetricsRegistry:
+        registry = self._registry if self._registry is not None else get_registry()
+        if registry.enabled:
+            registry.register_collector(
+                f"repro_cache:{id(self.cache)}", self._collect_cache_metrics
+            )
+        return registry
+
+    def _collect_cache_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull-style export of the cache's own stats at snapshot time."""
+        stats = self.cache.stats
+        registry.counter("repro_cache_hits_total").set_total(stats.hits)
+        registry.counter("repro_cache_misses_total").set_total(stats.misses)
+        registry.counter("repro_cache_stale_hits_total").set_total(stats.stale_hits)
+        registry.counter("repro_cache_invalidations_total").set_total(
+            stats.invalidations
+        )
+        registry.counter("repro_cache_evictions_total").set_total(stats.evictions)
+        registry.gauge("repro_cache_hit_rate").set(stats.hit_rate)
+        registry.gauge("repro_cache_size").set(len(self.cache))
 
     # ------------------------------------------------------------------
     # vectors
@@ -79,8 +114,14 @@ class RepresentationService:
         cached = self.cache.get(self.USER_KIND, user.user_id, version)
         if cached is not None:
             return cached
+        registry = self._obs()
+        start = time.perf_counter() if registry.enabled else 0.0
         encoded = self.model.encoder.encode_user(user)
         vector = self.model.encode_users([encoded])[0]
+        if registry.enabled:
+            registry.histogram(
+                "repro_serving_encode_seconds", tags={"kind": self.USER_KIND}
+            ).observe(time.perf_counter() - start)
         self.cache.put(self.USER_KIND, user.user_id, version, vector)
         return vector
 
@@ -90,14 +131,32 @@ class RepresentationService:
         cached = self.cache.get(self.EVENT_KIND, event.event_id, version)
         if cached is not None:
             return cached
+        registry = self._obs()
+        start = time.perf_counter() if registry.enabled else 0.0
         encoded = self.model.encoder.encode_event(event)
         vector = self.model.encode_events([encoded])[0]
+        if registry.enabled:
+            registry.histogram(
+                "repro_serving_encode_seconds", tags={"kind": self.EVENT_KIND}
+            ).observe(time.perf_counter() - start)
         self.cache.put(self.EVENT_KIND, event.event_id, version, vector)
         return vector
 
     def warm(self, users: Sequence[User], events: Sequence[Event]) -> None:
         """Batch-precompute vectors for a cohort (the production
         "computed upon creation" path)."""
+        registry = self._obs()
+        with span("repro_serving_warm", registry=registry):
+            self._warm(users, events)
+        if registry.enabled:
+            registry.counter("repro_serving_warmed_total", tags={"kind": "user"}).inc(
+                len(users)
+            )
+            registry.counter("repro_serving_warmed_total", tags={"kind": "event"}).inc(
+                len(events)
+            )
+
+    def _warm(self, users: Sequence[User], events: Sequence[Event]) -> None:
         if users:
             encoded = [self.model.encoder.encode_user(user) for user in users]
             vectors = self.model.encode_users(encoded)
@@ -122,6 +181,8 @@ class RepresentationService:
 
     def score(self, user: User, event: Event) -> float:
         """s_θ(u, e): cosine of the cached representation vectors."""
+        registry = self._registry if self._registry is not None else get_registry()
+        start = time.perf_counter() if registry.enabled else 0.0
         user_vec = self.user_vector(user)
         event_vec = self.event_vector(event)
         denom = (
@@ -129,7 +190,12 @@ class RepresentationService:
             * np.sqrt((event_vec * event_vec).sum())
             + _EPS
         )
-        return float(user_vec @ event_vec / denom)
+        result = float(user_vec @ event_vec / denom)
+        if registry.enabled:
+            registry.histogram("repro_serving_score_seconds").observe(
+                time.perf_counter() - start
+            )
+        return result
 
     def rank_events(
         self,
@@ -148,16 +214,23 @@ class RepresentationService:
                 any further consideration", Section 1).
             top_k: truncate the ranking.
         """
-        candidates = [
-            event
-            for event in events
-            if at_time is None or event.is_active(at_time)
-        ]
-        scored = [
-            ScoredEvent(event=event, score=self.score(user, event))
-            for event in candidates
-        ]
-        scored.sort(key=lambda item: (-item.score, item.event.event_id))
-        if top_k is not None:
-            scored = scored[:top_k]
+        registry = self._obs()
+        with span("repro_serving_rank", registry=registry):
+            candidates = [
+                event
+                for event in events
+                if at_time is None or event.is_active(at_time)
+            ]
+            scored = [
+                ScoredEvent(event=event, score=self.score(user, event))
+                for event in candidates
+            ]
+            scored.sort(key=lambda item: (-item.score, item.event.event_id))
+            if top_k is not None:
+                scored = scored[:top_k]
+        if registry.enabled:
+            registry.counter("repro_serving_rank_total").inc()
+            registry.histogram(
+                "repro_serving_candidates", buckets=_CANDIDATE_BUCKETS
+            ).observe(len(candidates))
         return scored

@@ -8,7 +8,8 @@ the best-validation parameters when stopping.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,9 +18,18 @@ from repro.core.config import TrainingConfig
 from repro.core.model import JointUserEventModel
 from repro.nn.losses import contrastive_loss
 from repro.nn.optim import SGD, Adagrad, ExponentialDecay, Optimizer
+from repro.obs.log import get_logger
+from repro.obs.registry import get_registry
 from repro.text.documents import EncodedEvent, EncodedUser
 
-__all__ = ["TrainingHistory", "RepresentationTrainer"]
+__all__ = ["TrainingHistory", "RepresentationTrainer", "EpochCallback"]
+
+_log = get_logger("repro.core.trainer")
+
+EpochCallback = Callable[[int, Mapping[str, float]], None]
+"""``on_epoch_end(epoch_index, stats)`` observer; ``stats`` carries
+``epoch`` (1-based), ``train_loss``, ``val_loss``, ``learning_rate``,
+``seconds`` and ``grad_norm`` (NaN unless telemetry is enabled)."""
 
 
 @dataclass
@@ -62,6 +72,7 @@ class RepresentationTrainer:
         events: Sequence[EncodedEvent],
         labels: np.ndarray,
         sample_weight: np.ndarray | None = None,
+        on_epoch_end: EpochCallback | None = None,
     ) -> TrainingHistory:
         """Train on aligned pair sequences.
 
@@ -72,6 +83,10 @@ class RepresentationTrainer:
         ``sample_weight`` enables weighted positives (e.g. clicks as
         weak feedback, the paper's future-work direction); validation
         loss stays unweighted so early stopping tracks the target task.
+
+        ``on_epoch_end`` is called after every completed epoch with
+        ``(epoch_index, stats)`` — the hook telemetry writers and
+        progress UIs attach to; it observes but cannot alter training.
 
         Returns the :class:`TrainingHistory`; the model is left holding
         the best-validation parameters.
@@ -109,10 +124,12 @@ class RepresentationTrainer:
         best_state: dict[str, np.ndarray] | None = None
         epochs_since_best = 0
 
+        registry = get_registry()
         event_lengths = np.array(
             [event.text_ids.shape[0] for event in train_events]
         )
         for epoch in range(self.config.epochs):
+            epoch_start = time.perf_counter()
             rate = schedule.apply(optimizer, epoch)
             order = np.arange(len(train_users))
             if self.config.shuffle:
@@ -147,18 +164,54 @@ class RepresentationTrainer:
                 epoch_loss += loss
                 num_batches += 1
             mean_train_loss = epoch_loss / max(num_batches, 1)
+            # Gradients of the final batch are still in the store here;
+            # their global norm is the cheapest useful health signal
+            # (exploding/vanishing updates).  Only computed when
+            # telemetry is on — it touches every parameter.
+            grad_norm = (
+                self._global_grad_norm() if registry.enabled else float("nan")
+            )
             val_loss = (
                 self.evaluate_loss(val_users, val_events, val_labels)
                 if num_validation
                 else mean_train_loss
             )
+            epoch_seconds = time.perf_counter() - epoch_start
             history.train_losses.append(mean_train_loss)
             history.validation_losses.append(val_loss)
             history.learning_rates.append(rate)
+            if registry.enabled:
+                registry.gauge("repro_train_epoch_loss").set(mean_train_loss)
+                registry.gauge("repro_train_val_loss").set(val_loss)
+                registry.gauge("repro_train_learning_rate").set(rate)
+                registry.gauge("repro_train_grad_norm").set(grad_norm)
+                registry.histogram(
+                    "repro_train_epoch_seconds",
+                    buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+                             60.0, 300.0, 1800.0),
+                ).observe(epoch_seconds)
+                registry.counter("repro_train_epochs_total").inc()
             if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
-                print(
-                    f"[trainer] epoch {epoch + 1}/{self.config.epochs} "
-                    f"train={mean_train_loss:.4f} val={val_loss:.4f} lr={rate:.4f}"
+                _log.info(
+                    "epoch",
+                    epoch=epoch + 1,
+                    epochs=self.config.epochs,
+                    train_loss=round(mean_train_loss, 6),
+                    val_loss=round(val_loss, 6),
+                    learning_rate=round(rate, 6),
+                    seconds=round(epoch_seconds, 4),
+                )
+            if on_epoch_end is not None:
+                on_epoch_end(
+                    epoch,
+                    {
+                        "epoch": epoch + 1,
+                        "train_loss": mean_train_loss,
+                        "val_loss": val_loss,
+                        "learning_rate": rate,
+                        "seconds": epoch_seconds,
+                        "grad_norm": grad_norm,
+                    },
                 )
             if val_loss < best_val - 1.0e-6:
                 best_val = val_loss
@@ -169,10 +222,28 @@ class RepresentationTrainer:
                 epochs_since_best += 1
                 if epochs_since_best >= self.config.patience:
                     history.stopped_early = True
+                    if registry.enabled:
+                        registry.counter("repro_train_early_stop_total").inc()
+                    if self.config.log_every:
+                        _log.info(
+                            "early_stop",
+                            epoch=epoch + 1,
+                            best_epoch=history.best_epoch + 1,
+                            best_val_loss=round(float(best_val), 6),
+                        )
                     break
         if best_state is not None:
             self.model.store.load_state_dict(best_state)
         return history
+
+    def _global_grad_norm(self) -> float:
+        """L2 norm over every trainable parameter's current gradient."""
+        total = 0.0
+        for parameter in self.model.store.trainable():
+            grad = parameter.grad
+            if grad is not None:
+                total += float((grad * grad).sum())
+        return float(np.sqrt(total))
 
     def evaluate_loss(
         self,

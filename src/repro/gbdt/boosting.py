@@ -13,6 +13,7 @@ experiment models use the paper's 200 trees × 12 leaves.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,8 +21,26 @@ import numpy as np
 from repro.gbdt.binning import FeatureBinner
 from repro.gbdt.tree import RegressionTree
 from repro.nn.losses import binary_cross_entropy, sigmoid
+from repro.obs.registry import get_registry
 
 __all__ = ["GBDTConfig", "GBDTClassifier"]
+
+# Boosting rounds on binned features run in the ms..s range.
+_ROUND_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+                  0.5, 1.0, 2.5, 5.0, 10.0)
+_LEAF_BUCKETS = (2, 4, 6, 8, 12, 16, 24, 32, 64)
+
+
+def _tree_depth(tree: RegressionTree) -> int:
+    """Longest root-to-leaf edge count of a fitted tree."""
+
+    def walk(index: int) -> int:
+        node = tree.nodes[index]
+        if node.is_leaf:
+            return 0
+        return 1 + max(walk(node.left), walk(node.right))
+
+    return walk(0) if tree.nodes else 0
 
 
 @dataclass(frozen=True)
@@ -109,7 +128,9 @@ class GBDTClassifier:
         best_val = np.inf
         rounds_since_best = 0
 
+        registry = get_registry()
         for _ in range(self.config.num_trees):
+            round_start = time.perf_counter() if registry.enabled else 0.0
             probabilities = sigmoid(scores)
             gradients = probabilities - labels
             hessians = probabilities * (1.0 - probabilities)
@@ -135,11 +156,27 @@ class GBDTClassifier:
             self.train_losses.append(
                 binary_cross_entropy(sigmoid(scores), labels)
             )
+            if registry.enabled:
+                registry.counter("repro_gbdt_rounds_total").inc()
+                registry.gauge("repro_gbdt_round_train_loss").set(
+                    self.train_losses[-1]
+                )
+                registry.histogram(
+                    "repro_gbdt_round_seconds", buckets=_ROUND_BUCKETS
+                ).observe(time.perf_counter() - round_start)
+                registry.histogram(
+                    "repro_gbdt_tree_leaves", buckets=_LEAF_BUCKETS
+                ).observe(tree.num_leaves)
+                registry.histogram(
+                    "repro_gbdt_tree_depth", buckets=_LEAF_BUCKETS
+                ).observe(_tree_depth(tree))
 
             if val_binned is not None:
                 val_scores += self.config.learning_rate * tree.predict(val_binned)
                 val_loss = binary_cross_entropy(sigmoid(val_scores), val_labels)
                 self.validation_losses.append(val_loss)
+                if registry.enabled:
+                    registry.gauge("repro_gbdt_round_val_loss").set(val_loss)
                 if val_loss < best_val - 1e-7:
                     best_val = val_loss
                     self.best_iteration = len(self.trees)

@@ -1,0 +1,75 @@
+"""repro.obs — telemetry: metrics, spans, structured logs, exporters.
+
+The observability layer for the production-serving story of paper
+Section 4.  Four pieces:
+
+* :mod:`repro.obs.registry` — counters, gauges, histograms (fixed
+  buckets + streaming p50/p95/p99), labeled by name and tag dict;
+* :mod:`repro.obs.spans` — ``with span("repro_serving_rank"):`` wall
+  timers that nest into coarse trace trees;
+* :mod:`repro.obs.log` — JSON-lines structured logging with a fixed
+  ``{ts, level, event, logger, tags}`` schema;
+* :mod:`repro.obs.export` — JSONL telemetry files and the Prometheus
+  text format.
+
+Metric naming convention: ``repro_<subsystem>_<name>_<unit>`` —
+``repro_serving_encode_seconds``, ``repro_cache_hits_total``,
+``repro_train_epoch_loss``.  Tag dicts carry the dimension that would
+otherwise explode the name (``{"kind": "user"}``).
+
+Telemetry is **off by default**: the global registry is a
+:class:`NullRegistry` of shared no-op instruments, so instrumented hot
+paths cost one ``enabled`` check.  Turn it on per process with
+:func:`enable` or per scope with :func:`use_registry`.
+"""
+
+from repro.obs.export import (
+    TelemetryWriter,
+    last_snapshot,
+    read_telemetry,
+    render_prometheus,
+    snapshot_record,
+)
+from repro.obs.log import StructuredLogger, configure, get_logger, log_context
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import Span, SpanRecorder, current_span, span, timed
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "use_registry",
+    "Span",
+    "SpanRecorder",
+    "span",
+    "timed",
+    "current_span",
+    "StructuredLogger",
+    "configure",
+    "get_logger",
+    "log_context",
+    "TelemetryWriter",
+    "render_prometheus",
+    "snapshot_record",
+    "read_telemetry",
+    "last_snapshot",
+]

@@ -1,0 +1,175 @@
+"""Span/timer API: wall-time histograms with coarse trace trees.
+
+A *span* times a named region of code and records the duration into a
+histogram ``<name>_seconds`` on the active registry::
+
+    with span("repro_serving_rank", tags={"kind": "user"}):
+        ...
+
+Spans nest: each thread keeps a stack, so a span knows its *path*
+("repro_serving_rank/repro_serving_encode") and depth, which is enough
+to reconstruct coarse trace trees from finished-span records without a
+distributed tracer.  Finished spans can be inspected through the
+:class:`SpanRecorder` used by tests and the benchmark telemetry
+exporter.
+
+When the active registry is disabled, :func:`span` returns a shared
+no-op context manager — no clock read, no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = ["Span", "SpanRecorder", "span", "timed", "current_span"]
+
+_STACK = threading.local()
+
+
+def _stack() -> list["Span"]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = []
+        _STACK.spans = stack
+    return stack
+
+
+def current_span() -> "Span | None":
+    """The innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class SpanRecorder:
+    """Optional sink collecting finished-span records.
+
+    Install with ``span(..., recorder=...)`` or globally via
+    :meth:`install`; each finished span appends
+    ``{"name", "path", "depth", "seconds", "tags"}``.
+    """
+
+    _global: "SpanRecorder | None" = None
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def add(self, record: dict) -> None:
+        self.records.append(record)
+
+    @classmethod
+    def install(cls, recorder: "SpanRecorder | None") -> "SpanRecorder | None":
+        previous = cls._global
+        cls._global = recorder
+        return previous
+
+
+class Span:
+    """One timed region; use via the :func:`span` factory."""
+
+    __slots__ = ("name", "tags", "registry", "recorder", "path", "depth", "_start", "seconds")
+
+    def __init__(
+        self,
+        name: str,
+        tags: Mapping[str, str] | None,
+        registry: MetricsRegistry,
+        recorder: SpanRecorder | None,
+    ):
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.registry = registry
+        self.recorder = recorder
+        self.path = name
+        self.depth = 0
+        self._start = 0.0
+        self.seconds: float | None = None
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.path = f"{parent.path}/{self.name}"
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.registry.histogram(
+            f"{self.name}_seconds",
+            tags=self.tags,
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).observe(self.seconds)
+        recorder = self.recorder or SpanRecorder._global
+        if recorder is not None:
+            recorder.add(
+                {
+                    "name": self.name,
+                    "path": self.path,
+                    "depth": self.depth,
+                    "seconds": self.seconds,
+                    "tags": self.tags,
+                }
+            )
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled-telemetry fast path."""
+
+    __slots__ = ()
+    seconds = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(
+    name: str,
+    tags: Mapping[str, str] | None = None,
+    registry: MetricsRegistry | None = None,
+    recorder: SpanRecorder | None = None,
+) -> Span | _NullSpan:
+    """Open a timed span recording into ``<name>_seconds``.
+
+    ``name`` should follow the metric naming convention *without* the
+    unit suffix (``repro_serving_rank``); the histogram appends
+    ``_seconds``.
+    """
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled and recorder is None and SpanRecorder._global is None:
+        return _NULL_SPAN
+    return Span(name, tags, registry, recorder)
+
+
+def timed(name: str, tags: Mapping[str, str] | None = None) -> Callable:
+    """Decorator form of :func:`span` for whole-function timing."""
+
+    def decorate(fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            with span(name, tags=tags):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -10,6 +10,11 @@ for quick access at recommendation time."
 are keyed by (kind, entity id) and carry a *version* fingerprint of
 the entity's information; a lookup with a stale version misses, which
 is the "recompute upon important information change" semantics.
+
+LRU ordering rides on dict insertion order: a hit re-inserts its entry
+at the tail, so the head (``next(iter(...))``) is always the
+least-recently-used victim — O(1) eviction instead of the O(n)
+min-scan a timestamp comparison would need.
 """
 
 from __future__ import annotations
@@ -23,12 +28,19 @@ __all__ = ["CacheStats", "VectorCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, observable for capacity planning."""
+    """Hit/miss counters, observable for capacity planning.
+
+    ``stale_hits`` count version-mismatch lookups (also counted as
+    misses); ``invalidations`` are explicit drops; ``evictions`` are
+    capacity-pressure drops — the signal that the cache is undersized,
+    distinct from both.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     stale_hits: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -37,6 +49,18 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat counter view, the shape telemetry exporters consume."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "stale_hits": self.stale_hits,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
 
 
 @dataclass
@@ -56,6 +80,7 @@ class VectorCache:
     def __post_init__(self):
         if self.capacity is not None and self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        # Insertion order IS the recency order: head = LRU, tail = MRU.
         self._entries: dict[tuple[str, int], _Entry] = {}
         self._clock = 0
 
@@ -65,7 +90,8 @@ class VectorCache:
     def get(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
         """Return the cached vector if present *and* version-current."""
         self._clock += 1
-        entry = self._entries.get((kind, entity_id))
+        key = (kind, entity_id)
+        entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
@@ -73,8 +99,11 @@ class VectorCache:
             # Information changed since the vector was computed.
             self.stats.misses += 1
             self.stats.stale_hits += 1
-            del self._entries[(kind, entity_id)]
+            del self._entries[key]
             return None
+        # Move to tail: this entry is now the most recently used.
+        del self._entries[key]
+        self._entries[key] = entry
         entry.last_access = self._clock
         self.stats.hits += 1
         return entry.vector
@@ -84,16 +113,14 @@ class VectorCache:
     ) -> None:
         """Store a vector, evicting the LRU entry at capacity."""
         self._clock += 1
-        if (
-            self.capacity is not None
-            and (kind, entity_id) not in self._entries
-            and len(self._entries) >= self.capacity
-        ):
-            victim = min(
-                self._entries, key=lambda key: self._entries[key].last_access
-            )
-            del self._entries[victim]
-        self._entries[(kind, entity_id)] = _Entry(
+        key = (kind, entity_id)
+        existing = key in self._entries
+        if existing:
+            del self._entries[key]  # re-insert at tail below
+        elif self.capacity is not None and len(self._entries) >= self.capacity:
+            del self._entries[next(iter(self._entries))]
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(
             version=version,
             vector=np.asarray(vector, dtype=np.float64).copy(),
             last_access=self._clock,
@@ -107,4 +134,6 @@ class VectorCache:
         return removed
 
     def clear(self) -> None:
+        """Drop every entry and reset the LRU clock."""
         self._entries.clear()
+        self._clock = 0

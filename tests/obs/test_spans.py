@@ -1,0 +1,93 @@
+"""Span timers: histogram recording, nesting, no-op fast path."""
+
+import time
+
+from repro.obs.registry import MetricsRegistry, NullRegistry, use_registry
+from repro.obs.spans import SpanRecorder, _NULL_SPAN, current_span, span, timed
+
+
+class TestRecording:
+    def test_duration_lands_in_histogram(self):
+        registry = MetricsRegistry()
+        with span("repro_work", registry=registry):
+            time.sleep(0.002)
+        histogram = registry.histogram("repro_work_seconds")
+        assert histogram.count == 1
+        assert histogram.sum >= 0.002
+
+    def test_tags_label_the_series(self):
+        registry = MetricsRegistry()
+        with span("repro_work", tags={"kind": "user"}, registry=registry):
+            pass
+        assert registry.histogram(
+            "repro_work_seconds", tags={"kind": "user"}
+        ).count == 1
+
+    def test_span_exposes_seconds(self):
+        registry = MetricsRegistry()
+        with span("repro_work", registry=registry) as opened:
+            pass
+        assert opened.seconds is not None and opened.seconds >= 0.0
+
+
+class TestNesting:
+    def test_paths_and_depths(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder()
+        with span("repro_outer", registry=registry, recorder=recorder):
+            with span("repro_mid", registry=registry, recorder=recorder):
+                with span("repro_leaf", registry=registry, recorder=recorder):
+                    assert current_span().path == "repro_outer/repro_mid/repro_leaf"
+        paths = {record["name"]: record for record in recorder.records}
+        assert paths["repro_leaf"]["path"] == "repro_outer/repro_mid/repro_leaf"
+        assert paths["repro_leaf"]["depth"] == 2
+        assert paths["repro_mid"]["depth"] == 1
+        assert paths["repro_outer"]["depth"] == 0
+
+    def test_siblings_share_parent_path(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder()
+        with span("repro_root", registry=registry, recorder=recorder):
+            with span("repro_a", registry=registry, recorder=recorder):
+                pass
+            with span("repro_b", registry=registry, recorder=recorder):
+                pass
+        paths = [record["path"] for record in recorder.records]
+        assert "repro_root/repro_a" in paths
+        assert "repro_root/repro_b" in paths
+
+    def test_stack_unwinds_after_exception(self):
+        registry = MetricsRegistry()
+        try:
+            with span("repro_boom", registry=registry):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_span() is None
+        # Duration recorded even on the error path.
+        assert registry.histogram("repro_boom_seconds").count == 1
+
+
+class TestDisabled:
+    def test_disabled_registry_yields_shared_null_span(self):
+        assert span("repro_x", registry=NullRegistry()) is _NULL_SPAN
+
+    def test_null_span_records_nothing(self):
+        registry = NullRegistry()
+        with span("repro_x", registry=registry):
+            pass
+        assert registry.snapshot() == []
+
+
+class TestTimedDecorator:
+    def test_wraps_and_records(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+
+            @timed("repro_fn")
+            def work(x):
+                return x * 2
+
+            assert work(21) == 42
+        assert registry.histogram("repro_fn_seconds").count == 1
+        assert work.__wrapped__(1) == 2

@@ -62,6 +62,16 @@ class TestInvalidation:
         cache.clear()
         assert len(cache) == 0
 
+    def test_clear_resets_lru_clock(self):
+        cache = VectorCache()
+        for i in range(5):
+            cache.put("user", i, "v", np.ones(1))
+            cache.get("user", i, "v")
+        cache.clear()
+        assert cache._clock == 0
+        cache.put("user", 9, "v", np.ones(1))
+        assert cache._entries[("user", 9)].last_access == 1
+
 
 class TestCapacity:
     def test_lru_eviction(self):
@@ -83,6 +93,53 @@ class TestCapacity:
     def test_bad_capacity_rejected(self):
         with pytest.raises(ValueError, match="capacity"):
             VectorCache(capacity=0)
+
+    def test_eviction_counter(self):
+        """Capacity evictions are neither invalidations nor stale hits."""
+        cache = VectorCache(capacity=2)
+        for entity_id in range(4):
+            cache.put("user", entity_id, "v", np.ones(1))
+        assert cache.stats.evictions == 2
+        assert cache.stats.invalidations == 0
+        assert cache.stats.stale_hits == 0
+
+    def test_overwrite_and_stale_drop_do_not_count_as_eviction(self):
+        cache = VectorCache(capacity=2)
+        cache.put("user", 1, "v1", np.ones(1))
+        cache.put("user", 1, "v2", np.ones(1))   # overwrite
+        assert cache.get("user", 1, "v3") is None  # stale drop
+        cache.invalidate("user", 1)
+        assert cache.stats.evictions == 0
+
+    def test_put_overwrite_refreshes_recency(self):
+        cache = VectorCache(capacity=2)
+        cache.put("user", 1, "v", np.ones(1))
+        cache.put("user", 2, "v", np.ones(1))
+        cache.put("user", 1, "v2", np.ones(1))  # 1 becomes MRU
+        cache.put("user", 3, "v", np.ones(1))   # evicts 2
+        assert cache.get("user", 1, "v2") is not None
+        assert cache.get("user", 2, "v") is None
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 9)), max_size=80))
+    def test_lru_matches_reference_model(self, ops):
+        """Dict-order LRU behaves exactly like an access-time model."""
+        cache = VectorCache(capacity=3)
+        reference: dict[int, int] = {}  # entity id -> last access tick
+        tick = 0
+        for is_get, entity_id in ops:
+            tick += 1
+            if is_get:
+                expected = entity_id in reference
+                hit = cache.get("user", entity_id, "v") is not None
+                assert hit == expected
+                if expected:
+                    reference[entity_id] = tick
+            else:
+                if entity_id not in reference and len(reference) >= 3:
+                    del reference[min(reference, key=reference.get)]
+                cache.put("user", entity_id, "v", np.ones(1))
+                reference[entity_id] = tick
+        assert {key[1] for key in cache._entries} == set(reference)
 
 
 class TestStats:

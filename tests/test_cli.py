@@ -43,6 +43,54 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "top" in out and "user 0" in out
 
+    def test_train_metrics_out_and_metrics_command(self, tmp_path, capsys):
+        """--metrics-out writes epoch records + serving histograms, and
+        ``metrics`` renders the snapshot as Prometheus text."""
+        import json
+
+        dataset_path = str(tmp_path / "world.json.gz")
+        assert main(["generate", "--scale", "small", "--seed", "5",
+                     "--out", dataset_path]) == 0
+        bundle_path = str(tmp_path / "bundle")
+        telemetry_path = str(tmp_path / "telemetry.jsonl")
+        assert main(["train", "--dataset", dataset_path, "--bundle", bundle_path,
+                     "--model-scale", "small", "--epochs", "2",
+                     "--metrics-out", telemetry_path]) == 0
+
+        records = [json.loads(line) for line in
+                   open(telemetry_path, encoding="utf-8")]
+        epochs = [r for r in records if r.get("record") == "epoch"]
+        assert len(epochs) == 2
+        for record in epochs:
+            assert record["train_loss"] > 0.0
+            assert record["learning_rate"] > 0.0
+            assert record["seconds"] > 0.0
+        snapshots = [r for r in records if r.get("record") == "snapshot"]
+        assert len(snapshots) == 1
+        metrics = {m["name"]: m for m in snapshots[0]["metrics"]
+                   if not m["tags"]}
+        encode = [m for m in snapshots[0]["metrics"]
+                  if m["name"] == "repro_serving_encode_seconds"]
+        assert {m["tags"]["kind"] for m in encode} == {"user", "event"}
+        for histogram in encode:
+            assert histogram["quantiles"]["p50"] is not None
+            assert histogram["quantiles"]["p95"] is not None
+            assert histogram["quantiles"]["p99"] is not None
+        assert metrics["repro_cache_hit_rate"]["value"] > 0.0
+        assert metrics["repro_train_epoch_loss"]["value"] > 0.0
+
+        capsys.readouterr()  # drop train output
+        assert main(["metrics", "--telemetry", telemetry_path]) == 0
+        rendered = capsys.readouterr().out
+        assert "# TYPE repro_train_epoch_loss gauge" in rendered
+        assert "repro_serving_encode_seconds_bucket" in rendered
+        assert "repro_cache_hit_rate" in rendered
+
+    def test_metrics_missing_file_fails(self, tmp_path, capsys):
+        assert main(["metrics", "--telemetry",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
     def test_recommend_unknown_user_fails(self, tmp_path, capsys):
         dataset_path = str(tmp_path / "world.json.gz")
         main(["generate", "--scale", "small", "--seed", "5", "--out", dataset_path])
