@@ -12,7 +12,8 @@ API:
 * :mod:`repro.gbdt` — gradient-boosted decision trees.
 * :mod:`repro.baselines` — LDA / PLSA / TF-IDF / popularity baselines.
 * :mod:`repro.eval` — metrics and the two-stage experiment protocol.
-* :mod:`repro.store` — the serving-time representation cache.
+* :mod:`repro.store` — the serving-time representation cache and the
+  batched top-K event retrieval index.
 * :mod:`repro.obs` — telemetry: metrics, spans, structured logs.
 """
 
@@ -30,6 +31,7 @@ from repro.entities import Event, Impression, User
 from repro.eval import TwoStageExperiment, evaluate_scores, roc_auc
 from repro.features import FeatureSetConfig
 from repro.gbdt import GBDTClassifier, GBDTConfig
+from repro.store import EventIndex, VectorCache
 from repro.text import DocumentEncoder
 
 __version__ = "1.0.0"
@@ -38,6 +40,7 @@ __all__ = [
     "DataConfig",
     "DocumentEncoder",
     "Event",
+    "EventIndex",
     "EventRecDataset",
     "FeatureSetConfig",
     "GBDTClassifier",
@@ -52,6 +55,7 @@ __all__ = [
     "TrainingConfig",
     "TwoStageExperiment",
     "User",
+    "VectorCache",
     "build_dataset",
     "evaluate_scores",
     "roc_auc",

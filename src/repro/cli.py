@@ -18,7 +18,7 @@ Examples::
     repro-events train --dataset world.json.gz --bundle model_bundle \\
         --metrics-out telemetry.jsonl
     repro-events recommend --dataset world.json.gz --bundle model_bundle \\
-        --user-id 3 --at-time 900 --top-k 5
+        --user-id 3 --at-time 900 --top-k 5 --serving indexed
     repro-events experiment --scale small --tables 1 2
     repro-events metrics --telemetry telemetry.jsonl
 
@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--user-id", type=int, required=True)
     recommend.add_argument("--at-time", type=float, required=True)
     recommend.add_argument("--top-k", type=int, default=10)
+    recommend.add_argument(
+        "--serving", choices=("indexed", "loop"), default="indexed",
+        help="rank via the batched event index (default) or the "
+        "brute-force per-event loop (the parity oracle)",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run the Table-1/Table-2 evaluation end-to-end"
@@ -164,9 +169,10 @@ def _serving_smoke(model, dataset, sample_size: int = 20) -> None:
     """Exercise the serving path so its histograms land in telemetry.
 
     A train run never serves; encoding a small cohort cold and then
-    ranking it warm populates encode/score/rank latencies and the
-    cache hit-rate the snapshot exports — the Section-4
-    capacity-planning signals.
+    ranking it warm populates encode/rank latencies, the index
+    maintenance counters, and the cache hit-rate the snapshot exports
+    — the Section-4 capacity-planning signals.  Both serving modes and
+    the batched multi-user path are exercised.
     """
     service = RepresentationService(model)
     users = dataset.users[:sample_size]
@@ -177,6 +183,8 @@ def _serving_smoke(model, dataset, sample_size: int = 20) -> None:
         service.event_vector(event)
     for user in users:
         service.rank_events(user, events, top_k=10)
+    service.rank_events(users[0], events, top_k=10, serving="loop")
+    service.rank_events_batch(users, events, top_k=10)
 
 
 def _cmd_train(args) -> int:
@@ -235,8 +243,11 @@ def _cmd_recommend(args) -> int:
         print(f"error: user {args.user_id} not in dataset", file=sys.stderr)
         return 2
     model = load_model_bundle(args.bundle)
-    service = RepresentationService(model)
+    service = RepresentationService(model, serving=args.serving)
     user = dataset.users_by_id[args.user_id]
+    if args.top_k < 1:
+        print(f"error: --top-k must be >= 1, got {args.top_k}", file=sys.stderr)
+        return 2
     ranked = service.rank_events(
         user, dataset.events, at_time=args.at_time, top_k=args.top_k
     )

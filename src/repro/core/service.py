@@ -1,12 +1,33 @@
-"""Serving-path facade: cached encoding + scoring + ranking.
+"""Serving-path facade: cached encoding + indexed scoring + ranking.
 
 Section 4 of the paper describes the production serving design:
 representation vectors are pre-computed once per entity, cached, and
 only recomputed "upon creation and important information change".
 :class:`RepresentationService` implements that path on top of a
-trained :class:`~repro.core.model.JointUserEventModel` and a
-:class:`~repro.store.VectorCache`, and exposes the recommendation
+trained :class:`~repro.core.model.JointUserEventModel`, a
+:class:`~repro.store.VectorCache`, and an
+:class:`~repro.store.EventIndex`, and exposes the recommendation
 primitive — rank the *currently active* events for a user.
+
+Two serving modes share one contract:
+
+* ``"indexed"`` (default) — the user vector is scored against the
+  index's contiguous event matrix with a single matrix-vector product
+  and top-K is selected with ``np.argpartition``; candidate events
+  not yet indexed are batch-encoded and upserted on first sight.
+  Following the paper's mutation-driven invalidation model, the
+  indexed path trusts rows keyed by ``event_id``: content changes
+  must be announced via :meth:`refresh_events` (or scored with
+  ``verify_versions=True``, which fingerprints every candidate).
+* ``"loop"`` — the original per-event Python loop, kept as the
+  brute-force parity oracle.  Both paths score with the training-time
+  cosine (:func:`repro.nn.cosine.pair_cosine`) and order by
+  ``(-score, event_id)``, so they agree to float precision including
+  tie-breaks.
+
+:meth:`rank_events_batch` ranks many users in one GEMM against the
+same index — the multi-user serving primitive large-scale two-tower
+systems are built around.
 """
 
 from __future__ import annotations
@@ -21,16 +42,21 @@ import numpy as np
 
 from repro.core.model import JointUserEventModel
 from repro.entities import Event, User
+from repro.nn.cosine import pair_cosine
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import span
 from repro.store.cache import VectorCache
+from repro.store.index import EventIndex, top_k_order
 
 __all__ = ["ScoredEvent", "RepresentationService"]
 
-_EPS = 1.0e-12
-
 # Candidate-pool sizes are counts, not latencies: linear-ish buckets.
 _CANDIDATE_BUCKETS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000, 10000)
+
+# Batch sizes (user counts) for rank_events_batch.
+_BATCH_USER_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+_SERVING_MODES = ("indexed", "loop")
 
 
 @dataclass(frozen=True)
@@ -42,13 +68,33 @@ class ScoredEvent:
 
 
 def _fingerprint(payload: dict) -> str:
-    """Stable content hash used as the cache version tag."""
+    """Stable content hash used as the cache/index version tag."""
     canonical = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
 
 
+def _validate_top_k(top_k: int | None) -> int | None:
+    """``top_k`` must be a positive integer (or None = full ranking).
+
+    A negative value would silently slice from the wrong end
+    (``scored[:-2]`` semantics); zero silently returns nothing.  Both
+    are caller bugs — fail loudly.
+    """
+    if top_k is None:
+        return None
+    try:
+        top_k = int(top_k.__index__())
+    except AttributeError:
+        raise ValueError(
+            f"top_k must be an integer >= 1 or None, got {top_k!r}"
+        ) from None
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1 or None, got {top_k}")
+    return top_k
+
+
 class RepresentationService:
-    """Cached user/event encoding and cosine scoring."""
+    """Cached user/event encoding and indexed cosine ranking."""
 
     USER_KIND = "user"
     EVENT_KIND = "event"
@@ -58,9 +104,18 @@ class RepresentationService:
         model: JointUserEventModel,
         cache: VectorCache | None = None,
         registry: MetricsRegistry | None = None,
+        index: EventIndex | None = None,
+        serving: str = "indexed",
     ):
+        if serving not in _SERVING_MODES:
+            raise ValueError(
+                f"serving must be one of {_SERVING_MODES}, got {serving!r}"
+            )
         self.model = model
         self.cache = cache if cache is not None else VectorCache()
+        self.index = index if index is not None else EventIndex()
+        self.serving = serving
+        self._index_rebuilds = 0
         # None → resolve the global registry at call time, so telemetry
         # enabled after construction is still picked up.
         self._registry = registry
@@ -74,6 +129,9 @@ class RepresentationService:
         if registry.enabled:
             registry.register_collector(
                 f"repro_cache:{id(self.cache)}", self._collect_cache_metrics
+            )
+            registry.register_collector(
+                f"repro_index:{id(self.index)}", self._collect_index_metrics
             )
         return registry
 
@@ -89,6 +147,27 @@ class RepresentationService:
         registry.counter("repro_cache_evictions_total").set_total(stats.evictions)
         registry.gauge("repro_cache_hit_rate").set(stats.hit_rate)
         registry.gauge("repro_cache_size").set(len(self.cache))
+
+    def _collect_index_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull-style export of the event index's maintenance stats."""
+        stats = self.index.stats
+        registry.gauge("repro_serving_index_size").set(len(self.index))
+        registry.gauge("repro_serving_index_capacity").set(self.index.capacity)
+        registry.counter("repro_serving_index_inserts_total").set_total(stats.inserts)
+        registry.counter("repro_serving_index_refreshes_total").set_total(
+            stats.refreshes
+        )
+        registry.counter("repro_serving_index_fresh_skips_total").set_total(
+            stats.fresh_skips
+        )
+        registry.counter("repro_serving_index_removes_total").set_total(stats.removes)
+        registry.counter("repro_serving_index_compactions_total").set_total(
+            stats.compactions
+        )
+        registry.counter("repro_serving_index_grows_total").set_total(stats.grows)
+        registry.counter("repro_serving_index_rebuilds_total").set_total(
+            self._index_rebuilds
+        )
 
     # ------------------------------------------------------------------
     # vectors
@@ -144,7 +223,8 @@ class RepresentationService:
 
     def warm(self, users: Sequence[User], events: Sequence[Event]) -> None:
         """Batch-precompute vectors for a cohort (the production
-        "computed upon creation" path)."""
+        "computed upon creation" path).  Warmed events are also
+        upserted into the retrieval index."""
         registry = self._obs()
         with span("repro_serving_warm", registry=registry):
             self._warm(users, events)
@@ -157,40 +237,137 @@ class RepresentationService:
             )
 
     def _warm(self, users: Sequence[User], events: Sequence[Event]) -> None:
-        if users:
-            encoded = [self.model.encoder.encode_user(user) for user in users]
+        # Entries whose (id, version) is already cached are counted as
+        # hits and skipped — re-encoding them would only burn tower
+        # inference and churn the LRU order of the live working set.
+        pending_users: list[tuple[User, str]] = []
+        for user in users:
+            version = self.user_version(user)
+            if self.cache.peek(self.USER_KIND, user.user_id, version) is None:
+                pending_users.append((user, version))
+        if pending_users:
+            encoded = [
+                self.model.encoder.encode_user(user) for user, _ in pending_users
+            ]
             vectors = self.model.encode_users(encoded)
-            for user, vector in zip(users, vectors):
-                self.cache.put(
-                    self.USER_KIND, user.user_id, self.user_version(user), vector
-                )
-        if events:
-            encoded = [self.model.encoder.encode_event(event) for event in events]
+            for (user, version), vector in zip(pending_users, vectors):
+                self.cache.put(self.USER_KIND, user.user_id, version, vector)
+
+        pending_events: list[tuple[Event, str]] = []
+        for event in events:
+            version = self.event_version(event)
+            vector = self.cache.peek(self.EVENT_KIND, event.event_id, version)
+            if vector is None:
+                pending_events.append((event, version))
+            else:
+                self.index.upsert(event, version, vector)
+        if pending_events:
+            encoded = [
+                self.model.encoder.encode_event(event)
+                for event, _ in pending_events
+            ]
             vectors = self.model.encode_events(encoded)
-            for event, vector in zip(events, vectors):
-                self.cache.put(
-                    self.EVENT_KIND,
-                    event.event_id,
-                    self.event_version(event),
-                    vector,
-                )
+            for (event, version), vector in zip(pending_events, vectors):
+                self.cache.put(self.EVENT_KIND, event.event_id, version, vector)
+                self.index.upsert(event, version, vector)
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+
+    def refresh_events(self, events: Sequence[Event]) -> int:
+        """Ensure the index holds a current vector for each event.
+
+        This is the "important information change" hook: versions are
+        fingerprinted, stale or missing rows are re-encoded (cache
+        first, batched tower inference for the rest) and upserted.
+        Returns the number of rows that needed new vectors.
+        """
+        pending: list[tuple[Event, str]] = []
+        for event in events:
+            version = self.event_version(event)
+            if self.index.version(event.event_id) == version:
+                self.index.upsert(event, version)  # refresh activity window
+            else:
+                pending.append((event, version))
+        self._insert_events(pending)
+        return len(pending)
+
+    def remove_event(self, event_id: int) -> bool:
+        """Drop an event from the index and cache (e.g. on deletion)."""
+        removed = self.index.remove(event_id)
+        self.cache.invalidate(self.EVENT_KIND, event_id)
+        return removed
+
+    def rebuild_index(self, events: Sequence[Event] | None = None) -> None:
+        """Clear and repopulate the index.
+
+        For model swaps or suspected corruption.  With ``events=None``
+        the current rows are re-inserted.  Note the vectors come back
+        through the cache: a caller swapping the *model* should
+        ``cache.clear()`` first so every row is re-encoded.
+        """
+        if events is None:
+            events = self.index.events
+        self.index.clear()
+        self._index_rebuilds += 1
+        self.refresh_events(events)
+
+    def _insert_events(self, pending: Sequence[tuple[Event, str]]) -> None:
+        """Upsert (event, version) pairs, batch-encoding cache misses."""
+        if not pending:
+            return
+        need_encode: list[tuple[Event, str]] = []
+        for event, version in pending:
+            cached = self.cache.get(self.EVENT_KIND, event.event_id, version)
+            if cached is not None:
+                self.index.upsert(event, version, cached)
+            else:
+                need_encode.append((event, version))
+        if not need_encode:
+            return
+        registry = self._obs()
+        start = time.perf_counter() if registry.enabled else 0.0
+        encoded = [
+            self.model.encoder.encode_event(event) for event, _ in need_encode
+        ]
+        vectors = self.model.encode_events(encoded)
+        if registry.enabled:
+            elapsed = time.perf_counter() - start
+            registry.histogram(
+                "repro_serving_encode_seconds", tags={"kind": self.EVENT_KIND}
+            ).observe(elapsed)
+        for (event, version), vector in zip(need_encode, vectors):
+            self.cache.put(self.EVENT_KIND, event.event_id, version, vector)
+            self.index.upsert(event, version, vector)
+
+    def _ensure_indexed(
+        self, events: Sequence[Event], verify_versions: bool
+    ) -> None:
+        """Make every candidate scoreable before the matrix product."""
+        if verify_versions:
+            self.refresh_events(events)
+            return
+        missing = [
+            event for event in events if event.event_id not in self.index
+        ]
+        if missing:
+            self.refresh_events(missing)
 
     # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
 
     def score(self, user: User, event: Event) -> float:
-        """s_θ(u, e): cosine of the cached representation vectors."""
+        """s_θ(u, e): cosine of the cached representation vectors.
+
+        Routed through :func:`repro.nn.cosine.pair_cosine` so the
+        served score is bit-identical to
+        :meth:`JointUserEventModel.similarity` on the same pair.
+        """
         registry = self._registry if self._registry is not None else get_registry()
         start = time.perf_counter() if registry.enabled else 0.0
-        user_vec = self.user_vector(user)
-        event_vec = self.event_vector(event)
-        denom = (
-            np.sqrt((user_vec * user_vec).sum())
-            * np.sqrt((event_vec * event_vec).sum())
-            + _EPS
-        )
-        result = float(user_vec @ event_vec / denom)
+        result = pair_cosine(self.user_vector(user), self.event_vector(event))
         if registry.enabled:
             registry.histogram("repro_serving_score_seconds").observe(
                 time.perf_counter() - start
@@ -203,6 +380,8 @@ class RepresentationService:
         events: Sequence[Event],
         at_time: float | None = None,
         top_k: int | None = None,
+        serving: str | None = None,
+        verify_versions: bool = False,
     ) -> list[ScoredEvent]:
         """Rank candidate events for a user by representation score.
 
@@ -212,25 +391,187 @@ class RepresentationService:
             at_time: if given, events not active at this time are
                 excluded (expired events "are no longer eligible for
                 any further consideration", Section 1).
-            top_k: truncate the ranking.
+            top_k: truncate the ranking; must be >= 1 (or None).
+            serving: override the service-level mode for this call
+                (``"indexed"`` or ``"loop"``).
+            verify_versions: indexed mode only — fingerprint every
+                candidate and refresh stale rows before scoring,
+                instead of trusting indexed ``event_id`` rows.
         """
+        top_k = _validate_top_k(top_k)
+        mode = self.serving if serving is None else serving
+        if mode not in _SERVING_MODES:
+            raise ValueError(
+                f"serving must be one of {_SERVING_MODES}, got {mode!r}"
+            )
         registry = self._obs()
         with span("repro_serving_rank", registry=registry):
-            candidates = [
-                event
-                for event in events
-                if at_time is None or event.is_active(at_time)
-            ]
-            scored = [
-                ScoredEvent(event=event, score=self.score(user, event))
-                for event in candidates
-            ]
-            scored.sort(key=lambda item: (-item.score, item.event.event_id))
-            if top_k is not None:
-                scored = scored[:top_k]
+            if mode == "loop":
+                scored, num_candidates = self._rank_events_loop(
+                    user, events, at_time, top_k
+                )
+            else:
+                scored, num_candidates = self._rank_events_indexed(
+                    user, events, at_time, top_k, verify_versions
+                )
         if registry.enabled:
             registry.counter("repro_serving_rank_total").inc()
+            registry.counter(
+                "repro_serving_rank_mode_total", tags={"serving": mode}
+            ).inc()
             registry.histogram(
                 "repro_serving_candidates", buckets=_CANDIDATE_BUCKETS
-            ).observe(len(candidates))
+            ).observe(num_candidates)
         return scored
+
+    def _rank_events_loop(
+        self,
+        user: User,
+        events: Sequence[Event],
+        at_time: float | None,
+        top_k: int | None,
+    ) -> tuple[list[ScoredEvent], int]:
+        """Per-event scoring loop: the brute-force parity oracle."""
+        candidates = [
+            event
+            for event in events
+            if at_time is None or event.is_active(at_time)
+        ]
+        scored = [
+            ScoredEvent(event=event, score=self.score(user, event))
+            for event in candidates
+        ]
+        scored.sort(key=lambda item: (-item.score, item.event.event_id))
+        if top_k is not None:
+            scored = scored[:top_k]
+        return scored, len(candidates)
+
+    def _rank_events_indexed(
+        self,
+        user: User,
+        events: Sequence[Event],
+        at_time: float | None,
+        top_k: int | None,
+        verify_versions: bool,
+    ) -> tuple[list[ScoredEvent], int]:
+        """One matrix-vector product + argpartition top-K."""
+        self._ensure_indexed(events, verify_versions)
+        if not events:
+            return [], 0
+        rows = self.index.rows_for(event.event_id for event in events)
+        positions = np.arange(len(events))
+        if at_time is not None:
+            active = np.flatnonzero(self.index.activity_mask(at_time, rows))
+            rows = rows[active]
+            positions = positions[active]
+        if rows.size == 0:
+            return [], 0
+        scores = self.index.scores(self.user_vector(user), rows)
+        ids = np.fromiter(
+            (events[p].event_id for p in positions), dtype=np.int64
+        )
+        order = top_k_order(scores, ids, top_k)
+        return [
+            ScoredEvent(event=events[positions[i]], score=float(scores[i]))
+            for i in order
+        ], int(rows.size)
+
+    def rank_events_batch(
+        self,
+        users: Sequence[User],
+        events: Sequence[Event],
+        at_time: float | None = None,
+        top_k: int | None = None,
+        verify_versions: bool = False,
+    ) -> list[list[ScoredEvent]]:
+        """Rank the same candidate pool for many users in one GEMM.
+
+        The user vectors (cache-aware, misses batch-encoded) form a
+        ``(num_users, dim)`` matrix scored against the index in a
+        single matrix-matrix product; each row then goes through the
+        same ``argpartition`` + ``(-score, event_id)`` selection as
+        :meth:`rank_events`.  Returns one ranking per user, in input
+        order.
+        """
+        top_k = _validate_top_k(top_k)
+        registry = self._obs()
+        with span("repro_serving_rank_batch", registry=registry):
+            results = self._rank_events_batch(
+                users, events, at_time, top_k, verify_versions
+            )
+        if registry.enabled:
+            registry.counter("repro_serving_rank_batch_total").inc()
+            registry.counter("repro_serving_rank_total").inc(len(users))
+            registry.histogram(
+                "repro_serving_rank_batch_users", buckets=_BATCH_USER_BUCKETS
+            ).observe(len(users))
+            registry.histogram(
+                "repro_serving_candidates", buckets=_CANDIDATE_BUCKETS
+            ).observe(len(events))
+        return results
+
+    def _rank_events_batch(
+        self,
+        users: Sequence[User],
+        events: Sequence[Event],
+        at_time: float | None,
+        top_k: int | None,
+        verify_versions: bool,
+    ) -> list[list[ScoredEvent]]:
+        if not users:
+            return []
+        self._ensure_indexed(events, verify_versions)
+        if not events:
+            return [[] for _ in users]
+        rows = self.index.rows_for(event.event_id for event in events)
+        positions = np.arange(len(events))
+        if at_time is not None:
+            active = np.flatnonzero(self.index.activity_mask(at_time, rows))
+            rows = rows[active]
+            positions = positions[active]
+        if rows.size == 0:
+            return [[] for _ in users]
+        queries = self._user_matrix(users)
+        score_matrix = self.index.scores_batch(queries, rows)
+        ids = np.fromiter(
+            (events[p].event_id for p in positions), dtype=np.int64
+        )
+        results: list[list[ScoredEvent]] = []
+        for scores in score_matrix:
+            order = top_k_order(scores, ids, top_k)
+            results.append(
+                [
+                    ScoredEvent(
+                        event=events[positions[i]], score=float(scores[i])
+                    )
+                    for i in order
+                ]
+            )
+        return results
+
+    def _user_matrix(self, users: Sequence[User]) -> np.ndarray:
+        """Stack v_u for a user cohort, batch-encoding cache misses."""
+        vectors: list[np.ndarray | None] = [None] * len(users)
+        pending: list[tuple[int, User, str]] = []
+        for i, user in enumerate(users):
+            version = self.user_version(user)
+            cached = self.cache.get(self.USER_KIND, user.user_id, version)
+            if cached is not None:
+                vectors[i] = cached
+            else:
+                pending.append((i, user, version))
+        if pending:
+            registry = self._obs()
+            start = time.perf_counter() if registry.enabled else 0.0
+            encoded = [
+                self.model.encoder.encode_user(user) for _, user, _ in pending
+            ]
+            batch = self.model.encode_users(encoded)
+            if registry.enabled:
+                registry.histogram(
+                    "repro_serving_encode_seconds", tags={"kind": self.USER_KIND}
+                ).observe(time.perf_counter() - start)
+            for (i, user, version), vector in zip(pending, batch):
+                self.cache.put(self.USER_KIND, user.user_id, version, vector)
+                vectors[i] = vector
+        return np.vstack(vectors)

@@ -8,7 +8,12 @@ forward/backward passes verified by finite-difference checks.
 """
 
 from repro.nn.batching import PaddedBatch, pad_batch, window_mask
-from repro.nn.cosine import cosine_similarity, cosine_similarity_backward
+from repro.nn.cosine import (
+    COSINE_EPS,
+    cosine_similarity,
+    cosine_similarity_backward,
+    pair_cosine,
+)
 from repro.nn.gradcheck import (
     check_parameter_gradient,
     max_relative_error,
@@ -21,6 +26,7 @@ from repro.nn.params import Parameter, ParamStore
 from repro.nn.pooling import NEG_INF, log_sum_exp_pool, log_sum_exp_pool_backward
 
 __all__ = [
+    "COSINE_EPS",
     "Adagrad",
     "Affine",
     "Concat",
@@ -44,6 +50,7 @@ __all__ = [
     "max_relative_error",
     "numeric_gradient",
     "pad_batch",
+    "pair_cosine",
     "sigmoid",
     "window_mask",
 ]

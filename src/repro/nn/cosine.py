@@ -12,9 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["cosine_similarity", "cosine_similarity_backward"]
+__all__ = [
+    "COSINE_EPS",
+    "cosine_similarity",
+    "cosine_similarity_backward",
+    "pair_cosine",
+]
 
-_EPS = 1.0e-12
+COSINE_EPS = 1.0e-12
+_EPS = COSINE_EPS
 
 
 def cosine_similarity(
@@ -33,6 +39,19 @@ def cosine_similarity(
         "sim": sim,
     }
     return sim, cache
+
+
+def pair_cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """Scalar cosine of two vectors, via the training-time formula.
+
+    The serving path must score with exactly the similarity the model
+    was trained on — ``u·e / ((‖u‖+ε)(‖e‖+ε))``, epsilon *inside* each
+    norm factor.  Routing through :func:`cosine_similarity` on 1-row
+    views keeps served scores bit-identical to
+    :meth:`~repro.core.model.JointUserEventModel.similarity`.
+    """
+    sim, _ = cosine_similarity(left[None, :], right[None, :])
+    return float(sim[0])
 
 
 def cosine_similarity_backward(

@@ -1,5 +1,6 @@
-"""Serving-time representation store (TAO stand-in)."""
+"""Serving-time representation store (TAO stand-in) and retrieval index."""
 
 from repro.store.cache import CacheStats, VectorCache
+from repro.store.index import EventIndex, IndexStats, top_k_order
 
-__all__ = ["CacheStats", "VectorCache"]
+__all__ = ["CacheStats", "EventIndex", "IndexStats", "VectorCache", "top_k_order"]

@@ -67,7 +67,6 @@ class CacheStats:
 class _Entry:
     version: str
     vector: np.ndarray
-    last_access: int = 0
 
 
 @dataclass
@@ -82,14 +81,12 @@ class VectorCache:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
         # Insertion order IS the recency order: head = LRU, tail = MRU.
         self._entries: dict[tuple[str, int], _Entry] = {}
-        self._clock = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
         """Return the cached vector if present *and* version-current."""
-        self._clock += 1
         key = (kind, entity_id)
         entry = self._entries.get(key)
         if entry is None:
@@ -104,7 +101,22 @@ class VectorCache:
         # Move to tail: this entry is now the most recently used.
         del self._entries[key]
         self._entries[key] = entry
-        entry.last_access = self._clock
+        self.stats.hits += 1
+        return entry.vector
+
+    def peek(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
+        """Recency-neutral lookup: the vector if current, else ``None``.
+
+        For batch warmers: a fresh entry counts as a hit (the warmer
+        would otherwise have recomputed it) but is *not* moved to the
+        MRU tail — warming a large cohort must not churn the LRU
+        order of the live working set.  An absent or stale entry is
+        not counted (and a stale one is not dropped); the warmer
+        follows up with :meth:`put`, which records the real work done.
+        """
+        entry = self._entries.get((kind, entity_id))
+        if entry is None or entry.version != version:
+            return None
         self.stats.hits += 1
         return entry.vector
 
@@ -112,7 +124,6 @@ class VectorCache:
         self, kind: str, entity_id: int, version: str, vector: np.ndarray
     ) -> None:
         """Store a vector, evicting the LRU entry at capacity."""
-        self._clock += 1
         key = (kind, entity_id)
         existing = key in self._entries
         if existing:
@@ -123,7 +134,6 @@ class VectorCache:
         self._entries[key] = _Entry(
             version=version,
             vector=np.asarray(vector, dtype=np.float64).copy(),
-            last_access=self._clock,
         )
 
     def invalidate(self, kind: str, entity_id: int) -> bool:
@@ -134,6 +144,5 @@ class VectorCache:
         return removed
 
     def clear(self) -> None:
-        """Drop every entry and reset the LRU clock."""
+        """Drop every entry."""
         self._entries.clear()
-        self._clock = 0

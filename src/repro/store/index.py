@@ -1,0 +1,375 @@
+"""Batched top-K event retrieval index (paper Section 4 at scale).
+
+The production design of Section 4 makes recommendation time be
+dominated by similarity lookups over pre-computed vectors.  A Python
+loop of per-event cosine calls cannot hold that property past a few
+thousand candidates; the standard large-scale answer (two-tower
+retrieval à la TransNets / JNET) is a maintained *index*: one
+contiguous matrix of event vectors that a user vector is scored
+against with a single matrix-vector product.
+
+:class:`EventIndex` is that structure, in-process:
+
+* rows live in one contiguous ``float64`` matrix, L2-normalized at
+  insert time, with the residual per-row scale kept so indexed scores
+  reproduce :func:`repro.nn.cosine.cosine_similarity` exactly
+  (``u·e / ((‖u‖+ε)(‖e‖+ε))``) instead of a subtly different cosine;
+* upsert/remove are O(1): a dict maps ``event_id → row``, removal
+  compacts by swapping the last row into the hole, and capacity grows
+  by amortized doubling so inserts never reallocate per call;
+* each entry is keyed by an ``(event_id, version)`` fingerprint —
+  upserting an unchanged version is a cheap no-op, a new version
+  overwrites the row in place ("recomputed upon important information
+  change", Section 4);
+* activity windows (``created_at``/``starts_at``) are kept in aligned
+  arrays so ``at_time`` eligibility is one vectorized comparison, not
+  a per-event ``is_active`` loop.
+
+The index is a pure data structure: it owns no telemetry and no
+model.  :class:`~repro.core.service.RepresentationService` maintains
+it and exports :class:`IndexStats` through ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.entities import Event
+from repro.nn.cosine import COSINE_EPS
+
+__all__ = ["IndexStats", "EventIndex", "top_k_order"]
+
+_INITIAL_CAPACITY = 64
+
+
+@dataclass
+class IndexStats:
+    """Mutation counters, observable for serving capacity planning.
+
+    ``inserts`` are first-time rows; ``refreshes`` are version-change
+    overwrites; ``fresh_skips`` are upserts whose version was already
+    current (the warm fast path); ``compactions`` count removals that
+    had to swap-with-last (i.e. removals of interior rows); ``grows``
+    count capacity doublings.
+    """
+
+    inserts: int = 0
+    refreshes: int = 0
+    fresh_skips: int = 0
+    removes: int = 0
+    compactions: int = 0
+    grows: int = 0
+
+    @property
+    def upserts(self) -> int:
+        return self.inserts + self.refreshes + self.fresh_skips
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat counter view, the shape telemetry collectors consume."""
+        return {
+            "inserts": self.inserts,
+            "refreshes": self.refreshes,
+            "fresh_skips": self.fresh_skips,
+            "removes": self.removes,
+            "compactions": self.compactions,
+            "grows": self.grows,
+            "upserts": self.upserts,
+        }
+
+
+def top_k_order(
+    scores: np.ndarray, event_ids: np.ndarray, k: int | None = None
+) -> np.ndarray:
+    """Indices of ``scores`` ordered by ``(-score, event_id)``, top ``k``.
+
+    Reproduces the brute-force ranking contract exactly, including
+    tie-breaks: equal scores order by ascending event id, and fully
+    equal keys keep input order (``np.lexsort`` is stable).  When
+    ``k`` is given, ``np.argpartition`` preselects the top-``k`` score
+    values in O(n) — candidates tied with the k-th score are all kept
+    through the partition so boundary ties still break by id.
+    """
+    n = int(scores.shape[0])
+    if k is None or k >= n:
+        selected = np.arange(n)
+    else:
+        top = np.argpartition(scores, n - k)[n - k :]
+        kth = scores[top].min()
+        selected = np.flatnonzero(scores >= kth)
+    order = np.lexsort((event_ids[selected], -scores[selected]))
+    return selected[order][:k]
+
+
+@dataclass
+class EventIndex:
+    """Contiguous, incrementally maintained event-vector index."""
+
+    initial_capacity: int = _INITIAL_CAPACITY
+    stats: IndexStats = field(default_factory=IndexStats)
+
+    def __post_init__(self):
+        if self.initial_capacity < 1:
+            raise ValueError(
+                f"initial_capacity must be >= 1, got {self.initial_capacity}"
+            )
+        self._rows: dict[int, int] = {}
+        self._versions: dict[int, str] = {}
+        self._size = 0
+        self._dim: int | None = None
+        # Row-aligned storage, allocated lazily at the first upsert
+        # (the vector dimension is only known then).
+        self._matrix: np.ndarray | None = None  # unit rows, (capacity, dim)
+        self._scales: np.ndarray | None = None  # ‖e‖ / (‖e‖ + ε)
+        self._ids: np.ndarray | None = None  # event_id per row
+        self._created: np.ndarray | None = None
+        self._starts: np.ndarray | None = None
+        self._events: list[Event] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, event_id: int) -> bool:
+        return event_id in self._rows
+
+    @property
+    def dim(self) -> int | None:
+        """Vector dimensionality, ``None`` until the first upsert."""
+        return self._dim
+
+    @property
+    def capacity(self) -> int:
+        return 0 if self._matrix is None else self._matrix.shape[0]
+
+    def version(self, event_id: int) -> str | None:
+        """Stored version fingerprint, ``None`` when absent."""
+        return self._versions.get(event_id)
+
+    def row_of(self, event_id: int) -> int:
+        """Current row of an event (rows move under compaction)."""
+        return self._rows[event_id]
+
+    def rows_for(self, event_ids: Iterable[int]) -> np.ndarray:
+        """Row indices for a candidate id list (all must be present)."""
+        rows = self._rows
+        return np.fromiter(
+            (rows[event_id] for event_id in event_ids), dtype=np.intp
+        )
+
+    def event_at(self, row: int) -> Event:
+        return self._events[row]
+
+    @property
+    def events(self) -> list[Event]:
+        """The indexed event objects (copy, row order)."""
+        return list(self._events)
+
+    @property
+    def event_ids(self) -> np.ndarray:
+        """Event ids row-aligned with :attr:`vectors`."""
+        if self._ids is None:
+            return np.empty(0, dtype=np.int64)
+        return self._ids[: self._size]
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of the live L2-normalized rows."""
+        if self._matrix is None:
+            return np.empty((0, 0), dtype=np.float64)
+        view = self._matrix[: self._size]
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def _allocate(self, dim: int) -> None:
+        capacity = max(self.initial_capacity, 1)
+        self._dim = dim
+        self._matrix = np.zeros((capacity, dim), dtype=np.float64)
+        self._scales = np.zeros(capacity, dtype=np.float64)
+        self._ids = np.zeros(capacity, dtype=np.int64)
+        self._created = np.zeros(capacity, dtype=np.float64)
+        self._starts = np.zeros(capacity, dtype=np.float64)
+
+    def _grow(self) -> None:
+        capacity = self.capacity * 2
+        for name in ("_matrix", "_scales", "_ids", "_created", "_starts"):
+            old = getattr(self, name)
+            shape = (capacity, *old.shape[1:])
+            new = np.zeros(shape, dtype=old.dtype)
+            new[: self._size] = old[: self._size]
+            setattr(self, name, new)
+        self.stats.grows += 1
+
+    def upsert(
+        self, event: Event, version: str, vector: np.ndarray | None = None
+    ) -> str:
+        """Insert or refresh one event row; returns what happened.
+
+        Returns ``"fresh"`` (version already current — only the
+        activity window and event reference are refreshed; ``vector``
+        may be omitted), ``"refreshed"`` (version changed, row
+        overwritten in place) or ``"inserted"`` (new row appended,
+        doubling capacity as needed).  All three are O(1) amortized.
+        """
+        event_id = event.event_id
+        row = self._rows.get(event_id)
+        if row is not None and self._versions[event_id] == version:
+            # Content fingerprint unchanged ⇒ the vector is current.
+            # Times are not version-covered, so keep them up to date.
+            self._created[row] = event.created_at
+            self._starts[row] = event.starts_at
+            self._events[row] = event
+            self.stats.fresh_skips += 1
+            return "fresh"
+        if vector is None:
+            raise ValueError(
+                f"event {event_id} is new or stale in the index; "
+                "upsert requires its vector"
+            )
+        values = np.asarray(vector, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"vector must be 1-D, got shape {values.shape}")
+        if self._matrix is None:
+            self._allocate(values.shape[0])
+        if values.shape[0] != self._dim:
+            raise ValueError(
+                f"vector dim {values.shape[0]} != index dim {self._dim}"
+            )
+        if row is None:
+            if self._size == self.capacity:
+                self._grow()
+            row = self._size
+            self._size += 1
+            self._rows[event_id] = row
+            self._events.append(event)
+            self.stats.inserts += 1
+            outcome = "inserted"
+        else:
+            self._events[row] = event
+            self.stats.refreshes += 1
+            outcome = "refreshed"
+        norm = float(np.sqrt(values @ values))
+        if norm > 0.0:
+            self._matrix[row] = values / norm
+        else:
+            self._matrix[row] = 0.0
+        self._scales[row] = norm / (norm + COSINE_EPS)
+        self._ids[row] = event_id
+        self._created[row] = event.created_at
+        self._starts[row] = event.starts_at
+        self._versions[event_id] = version
+        return outcome
+
+    def remove(self, event_id: int) -> bool:
+        """Drop an event in O(1) by swapping the last row into its slot."""
+        row = self._rows.pop(event_id, None)
+        if row is None:
+            return False
+        del self._versions[event_id]
+        last = self._size - 1
+        if row != last:
+            self._matrix[row] = self._matrix[last]
+            self._scales[row] = self._scales[last]
+            self._ids[row] = self._ids[last]
+            self._created[row] = self._created[last]
+            self._starts[row] = self._starts[last]
+            self._events[row] = self._events[last]
+            self._rows[int(self._ids[last])] = row
+            self.stats.compactions += 1
+        self._events.pop()
+        self._size = last
+        self.stats.removes += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every row (storage is kept for reuse)."""
+        self._rows.clear()
+        self._versions.clear()
+        self._events.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+
+    def _select(self, array: np.ndarray, rows: np.ndarray | None) -> np.ndarray:
+        return array[: self._size] if rows is None else array[rows]
+
+    def activity_mask(
+        self, at_time: float, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized ``Event.is_active`` over (a subset of) the rows."""
+        created = self._select(self._created, rows)
+        starts = self._select(self._starts, rows)
+        return (created <= at_time) & (at_time < starts)
+
+    def scores(
+        self, query: np.ndarray, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cosine of ``query`` against (a subset of) the rows.
+
+        One matrix-vector product; numerically equal to
+        :func:`repro.nn.cosine.cosine_similarity` per pair — the unit
+        rows carry a residual ``‖e‖/(‖e‖+ε)`` scale so the training
+        epsilon convention is reproduced, not approximated.
+        """
+        if self._matrix is None:
+            return np.empty(0, dtype=np.float64)
+        values = np.asarray(query, dtype=np.float64)
+        norm = np.sqrt(values @ values) + COSINE_EPS
+        dots = self._select(self._matrix, rows) @ values
+        return dots * (self._select(self._scales, rows) / norm)
+
+    def scores_batch(
+        self, queries: np.ndarray, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cosine of a ``(m, dim)`` query matrix against the rows.
+
+        A single GEMM: the multi-user serving primitive.  Returns
+        shape ``(m, n_rows)``.
+        """
+        values = np.asarray(queries, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {values.shape}")
+        if self._matrix is None:
+            return np.empty((values.shape[0], 0), dtype=np.float64)
+        norms = np.sqrt((values * values).sum(axis=1)) + COSINE_EPS
+        dots = values @ self._select(self._matrix, rows).T
+        scales = self._select(self._scales, rows)
+        return dots * (scales[None, :] / norms[:, None])
+
+    # ------------------------------------------------------------------
+    # invariants (test/debug support)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency; cheap enough for tests."""
+        assert self._size == len(self._rows) == len(self._versions)
+        assert len(self._events) == self._size
+        assert sorted(self._rows.values()) == list(range(self._size))
+        for event_id, row in self._rows.items():
+            assert int(self._ids[row]) == event_id
+            assert self._events[row].event_id == event_id
+        if self._size:
+            live = self._matrix[: self._size]
+            norms = np.sqrt((live * live).sum(axis=1))
+            assert np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0))
+
+
+def brute_force_order(
+    scores: Sequence[float], event_ids: Sequence[int], k: int | None = None
+) -> list[int]:
+    """Reference implementation of the ranking contract (tests only)."""
+    order = sorted(
+        range(len(scores)), key=lambda i: (-scores[i], event_ids[i])
+    )
+    return order[:k]

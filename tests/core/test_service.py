@@ -8,6 +8,7 @@ import pytest
 from repro.core.config import JointModelConfig
 from repro.core.model import JointUserEventModel
 from repro.core.service import RepresentationService
+from repro.entities import Event
 from repro.store.cache import VectorCache
 from repro.text.documents import DocumentEncoder
 
@@ -62,21 +63,27 @@ class TestCachedVectors:
 
 
 class TestScoring:
-    def test_score_matches_model_similarity(self, service, tiny_users, tiny_events):
+    def test_score_bit_identical_to_model_similarity(
+        self, service, tiny_users, tiny_events
+    ):
+        """Serving routes through the training-time cosine — not a
+        reimplementation with a different epsilon convention — so the
+        served score is *exactly* the model's similarity."""
         model = service.model
         encoded_user = model.encoder.encode_user(tiny_users[0])
         encoded_event = model.encoder.encode_event(tiny_events[0])
-        direct = model.similarity([encoded_user], [encoded_event])[0]
-        assert service.score(tiny_users[0], tiny_events[0]) == pytest.approx(
-            float(direct), abs=1e-6
-        )
+        direct = float(model.similarity([encoded_user], [encoded_event])[0])
+        assert service.score(tiny_users[0], tiny_events[0]) == direct
 
     def test_rank_excludes_expired_events(self, service, tiny_users, tiny_events):
         # Event 3 starts at t=44; at t=50 only events 1 (starts 48? no,
         # event 1 starts at 48) — at t=45 events 1 and 2 are active.
-        ranked = service.rank_events(tiny_users[0], tiny_events, at_time=45.0)
-        ids = {scored.event.event_id for scored in ranked}
-        assert ids == {1, 2}
+        for serving in ("indexed", "loop"):
+            ranked = service.rank_events(
+                tiny_users[0], tiny_events, at_time=45.0, serving=serving
+            )
+            ids = {scored.event.event_id for scored in ranked}
+            assert ids == {1, 2}
 
     def test_rank_sorted_descending(self, service, tiny_users, tiny_events):
         ranked = service.rank_events(tiny_users[0], tiny_events)
@@ -86,3 +93,262 @@ class TestScoring:
     def test_top_k_truncates(self, service, tiny_users, tiny_events):
         ranked = service.rank_events(tiny_users[0], tiny_events, top_k=1)
         assert len(ranked) == 1
+
+
+class TestTopKValidation:
+    @pytest.mark.parametrize("bad", [-1, 0, -7, 2.5, "3"])
+    @pytest.mark.parametrize("serving", ["indexed", "loop"])
+    def test_rank_rejects_bad_top_k(
+        self, service, tiny_users, tiny_events, bad, serving
+    ):
+        with pytest.raises(ValueError, match="top_k"):
+            service.rank_events(
+                tiny_users[0], tiny_events, top_k=bad, serving=serving
+            )
+
+    @pytest.mark.parametrize("bad", [-1, 0])
+    def test_batch_rejects_bad_top_k(self, service, tiny_users, tiny_events, bad):
+        with pytest.raises(ValueError, match="top_k"):
+            service.rank_events_batch(tiny_users, tiny_events, top_k=bad)
+
+    def test_numpy_integer_top_k_accepted(self, service, tiny_users, tiny_events):
+        ranked = service.rank_events(
+            tiny_users[0], tiny_events, top_k=np.int64(2)
+        )
+        assert len(ranked) == 2
+
+    def test_top_k_larger_than_pool_is_fine(self, service, tiny_users, tiny_events):
+        for serving in ("indexed", "loop"):
+            ranked = service.rank_events(
+                tiny_users[0], tiny_events, top_k=99, serving=serving
+            )
+            assert len(ranked) == len(tiny_events)
+
+    def test_bad_serving_mode_rejected(self, service, tiny_users, tiny_events):
+        with pytest.raises(ValueError, match="serving"):
+            service.rank_events(tiny_users[0], tiny_events, serving="warp")
+        with pytest.raises(ValueError, match="serving"):
+            RepresentationService(service.model, serving="warp")
+
+
+class TestIndexedParity:
+    """The tentpole guarantee: indexed == brute force == model."""
+
+    def _random_pool(self, size, seed):
+        rng = np.random.default_rng(seed)
+        words = [
+            "jazz", "sax", "food", "chef", "run", "race", "art", "film",
+            "code", "club", "night", "fair", "park", "music", "band",
+        ]
+        events = []
+        for event_id in range(size):
+            text = " ".join(rng.choice(words, size=6))
+            created = float(rng.uniform(0, 50))
+            events.append(
+                Event(
+                    event_id=event_id,
+                    title=f"event {event_id}",
+                    description=text,
+                    category=str(rng.choice(["music_live", "food_tasting"])),
+                    created_at=created,
+                    starts_at=created + float(rng.uniform(1, 100)),
+                )
+            )
+        return events
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("at_time", [None, 40.0])
+    @pytest.mark.parametrize("top_k", [None, 1, 7])
+    def test_indexed_matches_loop_on_random_pools(
+        self, service, tiny_users, seed, at_time, top_k
+    ):
+        events = self._random_pool(60, seed)
+        user = tiny_users[0]
+        loop = service.rank_events(
+            user, events, at_time=at_time, top_k=top_k, serving="loop"
+        )
+        indexed = service.rank_events(
+            user, events, at_time=at_time, top_k=top_k, serving="indexed"
+        )
+        assert [s.event.event_id for s in indexed] == [
+            s.event.event_id for s in loop
+        ]
+        assert np.allclose(
+            [s.score for s in indexed], [s.score for s in loop], atol=1e-9
+        )
+
+    def test_three_way_parity(self, service, tiny_users):
+        """indexed == loop == model.similarity, per pair."""
+        events = self._random_pool(20, seed=5)
+        user = tiny_users[0]
+        indexed = service.rank_events(user, events, serving="indexed")
+        encoder = service.model.encoder
+        encoded_user = encoder.encode_user(user)
+        for scored in indexed:
+            direct = float(
+                service.model.similarity(
+                    [encoded_user], [encoder.encode_event(scored.event)]
+                )[0]
+            )
+            assert scored.score == pytest.approx(direct, abs=1e-9)
+
+    def test_batch_matches_single_user_rank(self, service, tiny_users):
+        events = self._random_pool(40, seed=3)
+        batch = service.rank_events_batch(
+            tiny_users, events, at_time=30.0, top_k=5
+        )
+        assert len(batch) == len(tiny_users)
+        for user, rankings in zip(tiny_users, batch):
+            single = service.rank_events(
+                user, events, at_time=30.0, top_k=5, serving="loop"
+            )
+            assert [s.event.event_id for s in rankings] == [
+                s.event.event_id for s in single
+            ]
+            assert np.allclose(
+                [s.score for s in rankings],
+                [s.score for s in single],
+                atol=1e-9,
+            )
+
+    def test_duplicate_candidates_keep_parity(self, service, tiny_users):
+        events = self._random_pool(10, seed=7)
+        pool = events + events[:4]  # duplicates
+        loop = service.rank_events(tiny_users[0], pool, serving="loop")
+        indexed = service.rank_events(tiny_users[0], pool, serving="indexed")
+        assert [s.event.event_id for s in indexed] == [
+            s.event.event_id for s in loop
+        ]
+
+    def test_empty_pool(self, service, tiny_users):
+        assert service.rank_events(tiny_users[0], [], serving="indexed") == []
+        assert service.rank_events_batch(tiny_users, []) == [[], [], []]
+        assert service.rank_events_batch([], []) == []
+
+
+class TestIndexMaintenance:
+    def test_rank_populates_index(self, service, tiny_users, tiny_events):
+        service.rank_events(tiny_users[0], tiny_events)
+        assert len(service.index) == len(tiny_events)
+
+    def test_trusted_mode_serves_indexed_vector_until_refresh(
+        self, service, tiny_users, tiny_events
+    ):
+        """The paper's contract is mutation-driven invalidation: the
+        indexed fast path trusts rows by event_id; content changes
+        must be announced (refresh_events) or verified per call."""
+        user = tiny_users[0]
+        before = service.rank_events(user, tiny_events)
+        changed = dataclasses.replace(
+            tiny_events[0], description="totally different content now"
+        )
+        pool = [changed, *tiny_events[1:]]
+        trusted = service.rank_events(user, pool)
+        assert {s.event.event_id: s.score for s in trusted} == {
+            s.event.event_id: s.score for s in before
+        }
+        service.refresh_events(pool)
+        refreshed = service.rank_events(user, pool)
+        oracle = service.rank_events(user, pool, serving="loop")
+        assert np.allclose(
+            sorted(s.score for s in refreshed),
+            sorted(s.score for s in oracle),
+            atol=1e-9,
+        )
+
+    def test_verify_versions_refreshes_inline(
+        self, service, tiny_users, tiny_events
+    ):
+        user = tiny_users[0]
+        service.rank_events(user, tiny_events)
+        changed = dataclasses.replace(
+            tiny_events[0], description="totally different content now"
+        )
+        pool = [changed, *tiny_events[1:]]
+        verified = service.rank_events(user, pool, verify_versions=True)
+        oracle = service.rank_events(user, pool, serving="loop")
+        assert [s.event.event_id for s in verified] == [
+            s.event.event_id for s in oracle
+        ]
+        assert np.allclose(
+            [s.score for s in verified],
+            [s.score for s in oracle],
+            atol=1e-9,
+        )
+
+    def test_refresh_events_returns_stale_count(
+        self, service, tiny_events
+    ):
+        assert service.refresh_events(tiny_events) == len(tiny_events)
+        assert service.refresh_events(tiny_events) == 0
+        changed = dataclasses.replace(tiny_events[0], title="renamed!")
+        assert service.refresh_events([changed, tiny_events[1]]) == 1
+
+    def test_remove_event(self, service, tiny_users, tiny_events):
+        service.rank_events(tiny_users[0], tiny_events)
+        assert service.remove_event(tiny_events[0].event_id) is True
+        assert service.remove_event(tiny_events[0].event_id) is False
+        assert len(service.index) == len(tiny_events) - 1
+        ranked = service.rank_events(tiny_users[0], tiny_events)
+        assert len(ranked) == len(tiny_events)  # re-inserted on demand
+
+    def test_rebuild_index(self, service, tiny_users, tiny_events):
+        service.rank_events(tiny_users[0], tiny_events)
+        before = {
+            s.event.event_id: s.score
+            for s in service.rank_events(tiny_users[0], tiny_events)
+        }
+        service.rebuild_index()
+        assert len(service.index) == len(tiny_events)
+        after = {
+            s.event.event_id: s.score
+            for s in service.rank_events(tiny_users[0], tiny_events)
+        }
+        for event_id, score in before.items():
+            assert after[event_id] == pytest.approx(score, abs=1e-9)
+
+
+class TestWarmSkipsFresh:
+    def test_second_warm_does_not_re_encode(
+        self, service, tiny_users, tiny_events, monkeypatch
+    ):
+        service.warm(tiny_users, tiny_events)
+        hits_before = service.cache.stats.hits
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm re-encoded a fresh entity")
+
+        monkeypatch.setattr(service.model, "encode_users", boom)
+        monkeypatch.setattr(service.model, "encode_events", boom)
+        service.warm(tiny_users, tiny_events)
+        # Every skipped entity is accounted for as a cache hit.
+        assert service.cache.stats.hits == hits_before + len(tiny_users) + len(
+            tiny_events
+        )
+
+    def test_warm_does_not_churn_lru_order(self, service, tiny_users):
+        service.warm(tiny_users, [])
+        # Touch the first user so it becomes MRU.
+        service.user_vector(tiny_users[0])
+        before = list(service.cache._entries)
+        service.warm(tiny_users, [])  # all fresh — order must not move
+        assert list(service.cache._entries) == before
+
+    def test_warm_re_encodes_changed_entities(
+        self, service, tiny_users, tiny_events
+    ):
+        service.warm(tiny_users, tiny_events)
+        changed = dataclasses.replace(
+            tiny_events[0], description="brand new description"
+        )
+        service.warm([], [changed, *tiny_events[1:]])
+        assert service.index.version(
+            changed.event_id
+        ) == service.event_version(changed)
+
+    def test_warm_feeds_the_index(self, service, tiny_users, tiny_events):
+        service.warm(tiny_users, tiny_events)
+        assert len(service.index) == len(tiny_events)
+        service.cache.clear()
+        service.warm(tiny_users, tiny_events)  # cold cache → re-encode, re-upsert
+        assert len(service.index) == len(tiny_events)

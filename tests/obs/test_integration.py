@@ -41,14 +41,22 @@ class TestServingTelemetry:
         assert rank["quantiles"]["p95"] is not None
         assert rank["quantiles"]["p99"] is not None
 
-        score = metrics[("repro_serving_score_seconds", ())]
-        assert score["count"] == 2 * len(tiny_events)
-
         candidates = metrics[("repro_serving_candidates", ())]
         assert candidates["count"] == 2
         assert candidates["sum"] == 2 * len(tiny_events)
 
         assert metrics[("repro_serving_rank_total", ())]["value"] == 2
+        assert metrics[
+            ("repro_serving_rank_mode_total", (("serving", "indexed"),))
+        ]["value"] == 2
+
+        # warm() pushed every event into the retrieval index.
+        assert metrics[("repro_serving_index_size", ())]["value"] == len(
+            tiny_events
+        )
+        assert metrics[("repro_serving_index_inserts_total", ())]["value"] == len(
+            tiny_events
+        )
 
         # Everything was warmed, so ranking hits the cache every time.
         assert metrics[("repro_cache_hits_total", ())]["value"] == (
@@ -56,6 +64,41 @@ class TestServingTelemetry:
         )
         assert metrics[("repro_cache_hit_rate", ())]["value"] == 1.0
         assert metrics[("repro_cache_size", ())]["value"] == len(service.cache)
+
+    def test_loop_mode_records_per_pair_scores(
+        self, service, tiny_users, tiny_events
+    ):
+        """The brute-force oracle still scores pair-by-pair."""
+        with use_registry(MetricsRegistry()) as registry:
+            service.warm(tiny_users, tiny_events)
+            service.rank_events(tiny_users[0], tiny_events, serving="loop")
+            metrics = {
+                (m["name"], tuple(sorted(m["tags"].items()))): m
+                for m in registry.snapshot()
+            }
+        score = metrics[("repro_serving_score_seconds", ())]
+        assert score["count"] == len(tiny_events)
+        assert metrics[
+            ("repro_serving_rank_mode_total", (("serving", "loop"),))
+        ]["value"] == 1
+
+    def test_batch_rank_records_batch_metrics(
+        self, service, tiny_users, tiny_events
+    ):
+        with use_registry(MetricsRegistry()) as registry:
+            service.rank_events_batch(tiny_users, tiny_events, top_k=2)
+            metrics = {
+                (m["name"], tuple(sorted(m["tags"].items()))): m
+                for m in registry.snapshot()
+            }
+        batch = metrics[("repro_serving_rank_batch_seconds", ())]
+        assert batch["count"] == 1
+        users_hist = metrics[("repro_serving_rank_batch_users", ())]
+        assert users_hist["count"] == 1
+        assert users_hist["sum"] == len(tiny_users)
+        assert metrics[("repro_serving_rank_total", ())]["value"] == len(
+            tiny_users
+        )
 
     def test_encode_latency_split_by_kind(self, service, tiny_users, tiny_events):
         with use_registry(MetricsRegistry()) as registry:

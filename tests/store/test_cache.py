@@ -62,15 +62,19 @@ class TestInvalidation:
         cache.clear()
         assert len(cache) == 0
 
-    def test_clear_resets_lru_clock(self):
-        cache = VectorCache()
+    def test_clear_then_reuse(self):
+        """A cleared cache behaves like a fresh one (LRU order intact)."""
+        cache = VectorCache(capacity=2)
         for i in range(5):
             cache.put("user", i, "v", np.ones(1))
             cache.get("user", i, "v")
         cache.clear()
-        assert cache._clock == 0
         cache.put("user", 9, "v", np.ones(1))
-        assert cache._entries[("user", 9)].last_access == 1
+        cache.put("user", 8, "v", np.ones(1))
+        cache.get("user", 9, "v")               # touch 9 → 8 becomes LRU
+        cache.put("user", 7, "v", np.ones(1))   # evicts 8
+        assert cache.get("user", 9, "v") is not None
+        assert cache.get("user", 8, "v") is None
 
 
 class TestCapacity:
@@ -140,6 +144,34 @@ class TestCapacity:
                 cache.put("user", entity_id, "v", np.ones(1))
                 reference[entity_id] = tick
         assert {key[1] for key in cache._entries} == set(reference)
+
+
+class TestPeek:
+    def test_peek_returns_fresh_vector_and_counts_hit(self):
+        cache = VectorCache()
+        cache.put("user", 1, "v1", np.ones(3))
+        assert np.allclose(cache.peek("user", 1, "v1"), 1.0)
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 1
+
+    def test_peek_absent_or_stale_counts_nothing(self):
+        cache = VectorCache()
+        assert cache.peek("user", 1, "v1") is None
+        cache.put("user", 1, "v1", np.ones(3))
+        assert cache.peek("user", 1, "v2") is None
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        # Unlike get(), a stale peek does not drop the entry.
+        assert len(cache) == 1
+
+    def test_peek_does_not_touch_lru_order(self):
+        cache = VectorCache(capacity=2)
+        cache.put("user", 1, "v", np.ones(1))
+        cache.put("user", 2, "v", np.ones(1))
+        assert cache.peek("user", 1, "v") is not None  # 1 stays LRU
+        cache.put("user", 3, "v", np.ones(1))          # evicts 1, not 2
+        assert cache.peek("user", 1, "v") is None
+        assert cache.peek("user", 2, "v") is not None
 
 
 class TestStats:

@@ -1,0 +1,262 @@
+"""Batched top-K event retrieval index: invariants and parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities import Event
+from repro.nn.cosine import COSINE_EPS
+from repro.store.index import EventIndex, brute_force_order, top_k_order
+
+
+def make_event(
+    event_id: int, created: float = 0.0, starts: float = 100.0, text: str = ""
+) -> Event:
+    return Event(
+        event_id=event_id,
+        title=f"event {event_id} {text}",
+        description=text,
+        category="cat",
+        created_at=created,
+        starts_at=starts,
+    )
+
+
+def ref_cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """The training-time cosine, computed the slow scalar way."""
+    ln = np.sqrt(left @ left) + COSINE_EPS
+    rn = np.sqrt(right @ right) + COSINE_EPS
+    return float(left @ right / (ln * rn))
+
+
+class TestUpsert:
+    def test_insert_then_score(self, rng):
+        index = EventIndex()
+        vec = rng.normal(size=8)
+        assert index.upsert(make_event(1), "v1", vec) == "inserted"
+        assert len(index) == 1
+        assert 1 in index
+        query = rng.normal(size=8)
+        assert index.scores(query)[0] == pytest.approx(
+            ref_cosine(query, vec), abs=1e-12
+        )
+
+    def test_fresh_version_skips_vector(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        before = index.vectors.copy()
+        # No vector needed when the version is already current.
+        assert index.upsert(make_event(1), "v1") == "fresh"
+        assert np.array_equal(index.vectors, before)
+        assert index.stats.fresh_skips == 1
+
+    def test_fresh_upsert_refreshes_activity_window(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1, starts=10.0), "v1", rng.normal(size=4))
+        assert index.activity_mask(50.0).tolist() == [False]
+        # Times are not version-covered; a fresh upsert updates them.
+        index.upsert(make_event(1, starts=99.0), "v1")
+        assert index.activity_mask(50.0).tolist() == [True]
+
+    def test_stale_version_overwrites_in_place(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        new_vec = rng.normal(size=4)
+        assert index.upsert(make_event(1), "v2", new_vec) == "refreshed"
+        assert len(index) == 1
+        assert index.version(1) == "v2"
+        assert index.stats.refreshes == 1
+        query = rng.normal(size=4)
+        assert index.scores(query)[0] == pytest.approx(
+            ref_cosine(query, new_vec), abs=1e-12
+        )
+
+    def test_new_or_stale_upsert_requires_vector(self, rng):
+        index = EventIndex()
+        with pytest.raises(ValueError, match="requires its vector"):
+            index.upsert(make_event(1), "v1")
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        with pytest.raises(ValueError, match="requires its vector"):
+            index.upsert(make_event(1), "v2")
+
+    def test_dim_mismatch_rejected(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        with pytest.raises(ValueError, match="dim"):
+            index.upsert(make_event(2), "v1", rng.normal(size=5))
+
+    def test_non_1d_vector_rejected(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            EventIndex().upsert(make_event(1), "v1", rng.normal(size=(2, 2)))
+
+    def test_zero_vector_scores_zero(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", np.zeros(4))
+        assert index.scores(rng.normal(size=4))[0] == 0.0
+
+
+class TestCapacity:
+    def test_amortized_doubling(self, rng):
+        index = EventIndex(initial_capacity=2)
+        for i in range(9):
+            index.upsert(make_event(i), "v", rng.normal(size=3))
+        assert len(index) == 9
+        assert index.capacity == 16
+        assert index.stats.grows == 3  # 2 → 4 → 8 → 16
+        index.check_invariants()
+
+    def test_bad_initial_capacity_rejected(self):
+        with pytest.raises(ValueError, match="initial_capacity"):
+            EventIndex(initial_capacity=0)
+
+    def test_matrix_stays_contiguous_after_growth(self, rng):
+        index = EventIndex(initial_capacity=1)
+        for i in range(5):
+            index.upsert(make_event(i), "v", rng.normal(size=3))
+        assert index.vectors.base.flags["C_CONTIGUOUS"]
+
+
+class TestRemove:
+    def test_remove_missing_is_false(self):
+        assert EventIndex().remove(42) is False
+
+    def test_swap_with_last_compaction(self, rng):
+        index = EventIndex()
+        vectors = {i: rng.normal(size=4) for i in range(4)}
+        for i, vec in vectors.items():
+            index.upsert(make_event(i), "v", vec)
+        assert index.remove(1) is True  # interior row → swap with row 3
+        assert len(index) == 3
+        assert 1 not in index
+        assert index.stats.compactions == 1
+        index.check_invariants()
+        query = rng.normal(size=4)
+        scores = index.scores(query)
+        for row, event_id in enumerate(index.event_ids):
+            assert scores[row] == pytest.approx(
+                ref_cosine(query, vectors[int(event_id)]), abs=1e-12
+            )
+
+    def test_remove_last_row_needs_no_compaction(self, rng):
+        index = EventIndex()
+        for i in range(3):
+            index.upsert(make_event(i), "v", rng.normal(size=4))
+        index.remove(2)
+        assert index.stats.compactions == 0
+        index.check_invariants()
+
+    def test_reinsert_after_remove(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        index.remove(1)
+        assert index.version(1) is None
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        assert len(index) == 1
+        index.check_invariants()
+
+
+class TestScoring:
+    def test_scores_subset_rows(self, rng):
+        index = EventIndex()
+        for i in range(6):
+            index.upsert(make_event(i), "v", rng.normal(size=5))
+        query = rng.normal(size=5)
+        rows = index.rows_for([4, 0, 2])
+        subset = index.scores(query, rows)
+        full = index.scores(query)
+        assert np.array_equal(subset, full[rows])
+
+    def test_scores_batch_matches_single(self, rng):
+        index = EventIndex()
+        for i in range(7):
+            index.upsert(make_event(i), "v", rng.normal(size=5))
+        queries = rng.normal(size=(3, 5))
+        batch = index.scores_batch(queries)
+        assert batch.shape == (3, 7)
+        for row, query in enumerate(queries):
+            assert np.allclose(batch[row], index.scores(query), atol=1e-12)
+
+    def test_empty_index_scores(self, rng):
+        index = EventIndex()
+        assert index.scores(rng.normal(size=3)).size == 0
+        assert index.scores_batch(rng.normal(size=(2, 3))).shape == (2, 0)
+
+    def test_activity_mask(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1, created=0.0, starts=10.0), "v", rng.normal(size=2))
+        index.upsert(make_event(2, created=5.0, starts=20.0), "v", rng.normal(size=2))
+        assert index.activity_mask(3.0).tolist() == [True, False]
+        assert index.activity_mask(10.0).tolist() == [False, True]
+        assert index.activity_mask(25.0).tolist() == [False, False]
+
+
+class TestTopKOrder:
+    def test_matches_reference_with_ties(self):
+        scores = np.array([0.5, 0.9, 0.5, 0.1, 0.9])
+        ids = np.array([7, 4, 2, 9, 1])
+        for k in (None, 1, 2, 3, 4, 5):
+            got = top_k_order(scores, ids, k).tolist()
+            assert got == brute_force_order(scores, ids, k)
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=40),
+        st.integers(1, 45),
+    )
+    def test_property_matches_reference(self, quantized, k):
+        # Coarsely quantized scores force plenty of exact ties.
+        scores = np.array(quantized, dtype=np.float64) / 5.0
+        ids = np.arange(len(quantized), 0, -1)
+        got = top_k_order(scores, ids, k).tolist()
+        assert got == brute_force_order(scores, ids, k)
+
+
+@st.composite
+def mutation_sequences(draw):
+    """(op, event_id, version) ops over a small id space."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["upsert", "remove"]),
+                st.integers(0, 7),
+                st.integers(0, 2),
+            ),
+            max_size=60,
+        )
+    )
+    return ops
+
+
+class TestRandomMutationParity:
+    @settings(deadline=None, max_examples=60)
+    @given(mutation_sequences())
+    def test_invariants_and_score_parity(self, ops):
+        """After any mutation sequence the index matches brute force."""
+        rng = np.random.default_rng(0)
+        index = EventIndex(initial_capacity=1)
+        reference: dict[int, tuple[str, np.ndarray]] = {}
+        for op, event_id, version_num in ops:
+            version = f"v{version_num}"
+            if op == "upsert":
+                vector = rng.normal(size=6)
+                outcome = index.upsert(make_event(event_id), version, vector)
+                if event_id in reference and reference[event_id][0] == version:
+                    assert outcome == "fresh"
+                else:
+                    reference[event_id] = (version, vector)
+            else:
+                removed = index.remove(event_id)
+                assert removed == (event_id in reference)
+                reference.pop(event_id, None)
+            index.check_invariants()
+
+        assert len(index) == len(reference)
+        assert set(int(i) for i in index.event_ids) == set(reference)
+        query = rng.normal(size=6)
+        scores = index.scores(query)
+        for row, event_id in enumerate(index.event_ids):
+            version, vector = reference[int(event_id)]
+            assert index.version(int(event_id)) == version
+            assert scores[row] == pytest.approx(
+                ref_cosine(query, vector), abs=1e-9
+            )

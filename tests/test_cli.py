@@ -28,6 +28,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "--tables", "3"])
 
+    def test_recommend_serving_choices(self):
+        args = build_parser().parse_args(
+            ["recommend", "--dataset", "d", "--bundle", "b",
+             "--user-id", "1", "--at-time", "0", "--serving", "loop"]
+        )
+        assert args.serving == "loop"
+        args = build_parser().parse_args(
+            ["recommend", "--dataset", "d", "--bundle", "b",
+             "--user-id", "1", "--at-time", "0"]
+        )
+        assert args.serving == "indexed"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["recommend", "--dataset", "d", "--bundle", "b",
+                 "--user-id", "1", "--at-time", "0", "--serving", "warp"]
+            )
+
 
 class TestEndToEnd:
     def test_generate_train_recommend_cycle(self, tmp_path, capsys):
@@ -100,3 +117,32 @@ class TestEndToEnd:
         assert main(["recommend", "--dataset", dataset_path,
                      "--bundle", bundle_path, "--user-id", "99999",
                      "--at-time", "900"]) == 2
+
+    def test_recommend_serving_modes_agree(self, tmp_path, capsys):
+        """The indexed path and the brute-force oracle print the same
+        ranking through the CLI."""
+        dataset_path = str(tmp_path / "world.json.gz")
+        main(["generate", "--scale", "small", "--seed", "5", "--out", dataset_path])
+        bundle_path = str(tmp_path / "bundle")
+        main(["train", "--dataset", dataset_path, "--bundle", bundle_path,
+              "--model-scale", "small", "--epochs", "1"])
+        outputs = {}
+        for serving in ("indexed", "loop"):
+            capsys.readouterr()
+            assert main(["recommend", "--dataset", dataset_path,
+                         "--bundle", bundle_path, "--user-id", "0",
+                         "--at-time", "900", "--top-k", "5",
+                         "--serving", serving]) == 0
+            outputs[serving] = capsys.readouterr().out
+        assert outputs["indexed"] == outputs["loop"]
+
+    def test_recommend_rejects_bad_top_k(self, tmp_path, capsys):
+        dataset_path = str(tmp_path / "world.json.gz")
+        main(["generate", "--scale", "small", "--seed", "5", "--out", dataset_path])
+        bundle_path = str(tmp_path / "bundle")
+        main(["train", "--dataset", dataset_path, "--bundle", bundle_path,
+              "--model-scale", "small", "--epochs", "1"])
+        assert main(["recommend", "--dataset", dataset_path,
+                     "--bundle", bundle_path, "--user-id", "0",
+                     "--at-time", "900", "--top-k", "-2"]) == 2
+        assert "--top-k" in capsys.readouterr().err
