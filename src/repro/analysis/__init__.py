@@ -1,0 +1,67 @@
+"""repro.analysis — project-specific static analysis.
+
+A small AST rule engine codifying the numeric-correctness invariants
+this reproduction has actually been burned by (or is structurally
+prone to), so train/serve parity bugs of the PR-3 class are caught
+mechanically instead of re-found in review:
+
+* **Rule engine** (:mod:`repro.analysis.engine`) — per-rule ``RPRxxx``
+  codes, path scoping (``src`` vs ``test``), and line-level
+  ``# repro: noqa[RPRxxx]`` suppressions with an optional trailing
+  justification.
+* **Rules** (:mod:`repro.analysis.rules`) — RPR101..RPR107, each
+  motivated by a concrete bug class (see README "Static analysis").
+* **Array contracts** (:mod:`repro.analysis.contracts`) — declarative
+  shape/dtype specifications for the hot ``repro.nn`` kernels, checked
+  statically where literal shapes allow
+  (:mod:`repro.analysis.static_shapes`, code RPR201) and asserted at
+  runtime in tests otherwise.
+* **Reporters** (:mod:`repro.analysis.reporters`) — text and JSON
+  output over the same finding records.
+
+Run it over the repository::
+
+    python -m repro.analysis src tests benchmarks
+    repro-events analyze src tests benchmarks --format json
+
+Exit codes: 0 (clean), 1 (findings), 2 (usage error).
+"""
+
+from repro.analysis.contracts import (
+    CONTRACTS,
+    ArraySpec,
+    ContractError,
+    KernelContract,
+    check_call,
+)
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    rules_by_code,
+    scope_for_path,
+)
+from repro.analysis.main import main
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "ArraySpec",
+    "CONTRACTS",
+    "ContractError",
+    "Finding",
+    "KernelContract",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "check_call",
+    "iter_python_files",
+    "main",
+    "render_json",
+    "render_text",
+    "rules_by_code",
+    "scope_for_path",
+]

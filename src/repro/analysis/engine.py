@@ -1,0 +1,345 @@
+"""Rule engine: findings, suppressions, path scoping, file walking.
+
+The engine is deliberately small: a rule is a class with a ``code``
+(``RPRxxx``), a ``scopes`` set saying where it applies, and a
+``check(context)`` generator yielding :class:`Finding` records.  The
+engine parses each file once, classifies its scope, runs every
+selected rule whose scope matches, and filters findings through the
+``# repro: noqa[RPRxxx]`` suppressions found on the flagged lines.
+
+Scopes
+------
+``src``
+    Production code.  Rules that forbid patterns tests legitimately
+    use (exact float comparison oracles, toy metric names, reference
+    cosine reimplementations, ``assert``) run here only.
+``test``
+    Anything under a ``tests``/``benchmarks``/``examples`` directory,
+    ``conftest.py``, or a ``test_*.py`` file.
+
+Suppressions
+------------
+A finding on line *N* is suppressed when line *N* carries a comment of
+the form ``# repro: noqa[RPR105]`` (several codes may be listed,
+comma-separated).  Text after the closing bracket is the
+justification; the project convention is that every suppression
+carries one::
+
+    return float(a @ b / denom)  # repro: noqa[RPR101] sparse-space oracle
+
+Suppressions that never fire are themselves reported (code RPR100) so
+stale exemptions cannot accumulate silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "rules_by_code",
+    "scope_for_path",
+    "parse_suppressions",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "UNUSED_SUPPRESSION_CODE",
+]
+
+UNUSED_SUPPRESSION_CODE = "RPR100"
+
+_TEST_DIRS = frozenset({"tests", "benchmarks", "examples"})
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]", re.IGNORECASE
+)
+_CODE_PATTERN = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    scope: str
+    lines: Sequence[str] = field(default_factory=list)
+
+    @property
+    def posix_path(self) -> str:
+        return Path(self.path).as_posix()
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``code``/``name``/``description``/``scopes`` and
+    implement :meth:`check`.  Registration happens via
+    :func:`register_rule` so the registry is explicit and import-order
+    independent.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    scopes: frozenset[str] = frozenset({"src", "test"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by code) to the registry."""
+    if not _CODE_PATTERN.match(rule_class.code):
+        raise ValueError(f"invalid rule code {rule_class.code!r}")
+    if rule_class.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_class.code}")
+    _REGISTRY[rule_class.code] = rule_class()
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by code."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rules_by_code(select: Iterable[str] | None = None) -> list[Rule]:
+    """Rules filtered to ``select`` codes (all rules when ``None``).
+
+    Raises ``KeyError`` naming the first unknown code — the CLI maps
+    this to a usage error (exit 2).
+    """
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = [code.strip().upper() for code in select if code.strip()]
+    known = {rule.code for rule in rules}
+    for code in wanted:
+        if code not in known:
+            raise KeyError(code)
+    chosen = set(wanted)
+    return [rule for rule in rules if rule.code in chosen]
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rule modules populates the registry; local import
+    # breaks the engine <-> rules cycle.
+    from repro.analysis import rules, static_shapes  # noqa: F401
+
+
+def scope_for_path(path: str | Path) -> str:
+    """Classify a file as production (``src``) or test-ish (``test``)."""
+    parts = Path(path).parts
+    name = Path(path).name
+    if any(part in _TEST_DIRS for part in parts):
+        return "test"
+    if name.startswith("test_") or name == "conftest.py":
+        return "test"
+    return "src"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number → set of suppressed codes for ``source``.
+
+    Only real ``#`` comments count — a noqa spelled inside a string or
+    docstring (e.g. documentation examples) suppresses nothing.  An
+    *inline* noqa suppresses findings on its own line; a noqa on a
+    comment-only line suppresses findings on the next line (for
+    expressions too long to carry the justification inline).
+    """
+    suppressions: dict[int, set[str]] = {}
+    source_lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError):
+        # Unparseable tail; fall back to no suppressions (the analyzer
+        # reports the syntax error separately).
+        return suppressions
+    for line_number, column, comment in comments:
+        match = _NOQA_PATTERN.search(comment)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        }
+        if not codes:
+            continue
+        line = source_lines[line_number - 1]
+        standalone = not line[:column].strip()
+        target = line_number + 1 if standalone else line_number
+        suppressions.setdefault(target, set()).update(codes)
+    return suppressions
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] | None = None,
+    scope: str | None = None,
+    report_unused_suppressions: bool = True,
+) -> list[Finding]:
+    """Run ``rules`` over one source string.
+
+    Returns surviving findings sorted by location.  A syntax error
+    becomes a single ``RPR999`` finding rather than an exception, so
+    one unparseable file cannot abort a repository sweep.
+    """
+    if rules is None:
+        rules = all_rules()
+    if scope is None:
+        scope = scope_for_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                code="RPR999",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    context = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        scope=scope,
+        lines=source.splitlines(),
+    )
+    raw: list[Finding] = []
+    for rule in rules:
+        if scope not in rule.scopes:
+            continue
+        raw.extend(rule.check(context))
+
+    suppressions = parse_suppressions(source)
+    used: dict[int, set[str]] = {}
+    survivors: list[Finding] = []
+    for finding in raw:
+        allowed = suppressions.get(finding.line, set())
+        if finding.code in allowed:
+            used.setdefault(finding.line, set()).add(finding.code)
+        else:
+            survivors.append(finding)
+    if report_unused_suppressions:
+        checked_codes = {rule.code for rule in rules if scope in rule.scopes}
+        for line_number, codes in sorted(suppressions.items()):
+            for code in sorted(codes):
+                if code in used.get(line_number, set()):
+                    continue
+                if code not in checked_codes:
+                    # The rule didn't run (deselected or out of scope);
+                    # the suppression may be live under a full run.
+                    continue
+                survivors.append(
+                    Finding(
+                        path=path,
+                        line=line_number,
+                        col=0,
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"unused suppression: no {code} finding on this "
+                            "line (remove the stale noqa)"
+                        ),
+                    )
+                )
+    return sorted(survivors)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths`` (files or directories).
+
+    Hidden directories and ``__pycache__`` are skipped.  A path that
+    does not exist raises ``FileNotFoundError`` — the CLI maps it to a
+    usage error.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                continue
+            yield candidate
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    report_unused_suppressions: bool = True,
+) -> list[Finding]:
+    """Analyze every Python file under ``paths``; sorted findings."""
+    rules = rules_by_code(select)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            analyze_source(
+                source,
+                str(file_path),
+                rules=rules,
+                report_unused_suppressions=report_unused_suppressions,
+            )
+        )
+    return sorted(findings)

@@ -1,0 +1,67 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render the same :class:`~repro.analysis.engine.Finding` records.
+The JSON document has a versioned schema so CI consumers can parse it
+without guessing::
+
+    {
+      "schema": "repro.analysis/v1",
+      "summary": {"files": null, "findings": 2, "by_code": {"RPR104": 2}},
+      "findings": [
+        {"path": "...", "line": 12, "col": 4,
+         "code": "RPR104", "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.analysis.engine import Finding
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = "repro.analysis/v1"
+
+
+def render_text(
+    findings: Sequence[Finding], files_scanned: int | None = None
+) -> str:
+    """One ``path:line:col CODE message`` line per finding + summary."""
+    lines = [
+        f"{finding.location()} {finding.code} {finding.message}"
+        for finding in findings
+    ]
+    scanned = f" ({files_scanned} files scanned)" if files_scanned else ""
+    if not findings:
+        lines.append(f"repro.analysis: clean{scanned}")
+    else:
+        by_code = Counter(finding.code for finding in findings)
+        breakdown = ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"repro.analysis: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} [{breakdown}]{scanned}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    findings: Sequence[Finding], files_scanned: int | None = None
+) -> str:
+    """Versioned JSON document over the same records."""
+    by_code = Counter(finding.code for finding in findings)
+    document = {
+        "schema": JSON_SCHEMA_VERSION,
+        "summary": {
+            "files": files_scanned,
+            "findings": len(findings),
+            "by_code": dict(sorted(by_code.items())),
+        },
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

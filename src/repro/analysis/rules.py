@@ -1,0 +1,585 @@
+"""The RPR rule set: bug classes this repository has hit or courts.
+
+Each rule documents its motivating incident or structural risk; the
+longer narrative lives in README "Static analysis".  Codes are stable
+— tooling and suppression comments reference them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = [
+    "CosineReimplementation",
+    "GlobalNumpyRng",
+    "MetricNameConvention",
+    "AssertInProduction",
+    "FloatEqualityComparison",
+    "MutableDefaultArgument",
+    "DunderAllDrift",
+]
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def _dump(node: ast.AST) -> str:
+    return ast.dump(node)
+
+
+def _is_numpy_attr(node: ast.AST, *path: str) -> bool:
+    """True when ``node`` is ``np.<path>`` / ``numpy.<path>``."""
+    for part in reversed(path):
+        if not isinstance(node, ast.Attribute) or node.attr != part:
+            return False
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in _NUMPY_ALIASES
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """Trailing name of the called function (``np.sqrt`` → ``sqrt``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+# ----------------------------------------------------------------------
+# RPR101 — cosine reimplementation
+# ----------------------------------------------------------------------
+
+
+def _contains_self_product(node: ast.AST) -> bool:
+    """Does the subtree contain ``x * x``, ``x ** 2``, or ``x @ x``?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp):
+            if isinstance(sub.op, (ast.Mult, ast.MatMult)):
+                if _dump(sub.left) == _dump(sub.right):
+                    return True
+            if (
+                isinstance(sub.op, ast.Pow)
+                and isinstance(sub.right, ast.Constant)
+                and sub.right.value == 2
+            ):
+                return True
+        if isinstance(sub, ast.Call) and _call_name(sub) == "square":
+            return True
+    return False
+
+
+def _is_norm_call(node: ast.AST, norm_names: set[str]) -> bool:
+    """``np.linalg.norm(...)`` or a sqrt of a self-product/norm name."""
+    if not isinstance(node, ast.Call):
+        return False
+    if _is_numpy_attr(node.func, "linalg", "norm"):
+        return True
+    if _call_name(node) != "sqrt" or not node.args:
+        return False
+    argument = node.args[0]
+    if _contains_self_product(argument):
+        return True
+    return any(
+        isinstance(sub, ast.Name) and sub.id in norm_names
+        for sub in ast.walk(argument)
+    )
+
+
+def _is_dot_product(node: ast.AST) -> bool:
+    """A dot product of two *different* operands.
+
+    Catches ``a @ b``, ``np.dot(a, b)``, ``(a * b).sum(...)`` and
+    ``np.sum(a * b)``; self-products (``a @ a``) are norm machinery,
+    not similarity, and are excluded.
+    """
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+        return _dump(node.left) != _dump(node.right)
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name == "dot" and len(node.args) == 2:
+            return _dump(node.args[0]) != _dump(node.args[1])
+        if name == "sum":
+            # (a * b).sum(...) — method form
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.BinOp
+            ):
+                product = func.value
+                if isinstance(product.op, ast.Mult):
+                    return _dump(product.left) != _dump(product.right)
+            # np.sum(a * b) — function form
+            if (
+                _is_numpy_attr(node.func, "sum")
+                and node.args
+                and isinstance(node.args[0], ast.BinOp)
+                and isinstance(node.args[0].op, ast.Mult)
+            ):
+                product = node.args[0]
+                return _dump(product.left) != _dump(product.right)
+    return False
+
+
+@register_rule
+class CosineReimplementation(Rule):
+    """RPR101: cosine/dot-over-norm reimplemented outside the kernel.
+
+    PR 3 fixed a served-score divergence caused by a second cosine with
+    a different epsilon convention (``u·e/(‖u‖‖e‖+ε)`` vs the training
+    head's ``u·e/((‖u‖+ε)(‖e‖+ε))``).  Any function that computes a
+    dot product *and* divides by a vector norm is re-deriving the
+    similarity head and must route through :mod:`repro.nn.cosine`
+    (``pair_cosine`` / ``cosine_similarity`` / ``exact_cosine`` /
+    ``unit_rows``) instead.
+    """
+
+    code = "RPR101"
+    name = "cosine-reimplementation"
+    description = (
+        "dot-product + divide-by-norm outside repro.nn.cosine; use "
+        "pair_cosine/cosine_similarity/exact_cosine/unit_rows"
+    )
+    scopes = frozenset({"src"})
+
+    _HOME = "repro/nn/cosine.py"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        if context.posix_path.endswith(self._HOME):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(context, node)
+
+    def _check_function(
+        self, context: FileContext, function: ast.AST
+    ) -> Iterator[Finding]:
+        # Fixpoint pass: names assigned from norm expressions (a later
+        # sqrt of a norm name is itself a norm, whatever walk order).
+        norm_names: set[str] = set()
+        assignments = [
+            node for node in ast.walk(function) if isinstance(node, ast.Assign)
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for node in assignments:
+                if any(
+                    _is_norm_call(sub, norm_names)
+                    for sub in ast.walk(node.value)
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            if target.id not in norm_names:
+                                norm_names.add(target.id)
+                                changed = True
+
+        has_dot = False
+        divisions: list[ast.BinOp] = []
+        for node in ast.walk(function):
+            if _is_dot_product(node):
+                has_dot = True
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                divisions.append(node)
+
+        if not has_dot:
+            return
+        for division in divisions:
+            denominator = division.right
+            denominator_is_norm = any(
+                _is_norm_call(sub, norm_names)
+                or (isinstance(sub, ast.Name) and sub.id in norm_names)
+                for sub in ast.walk(denominator)
+            )
+            if denominator_is_norm:
+                yield self.finding(
+                    context,
+                    division,
+                    "cosine reimplementation (dot product divided by a "
+                    "norm); route through repro.nn.cosine to keep one "
+                    "epsilon convention",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR102 — global-state numpy RNG
+# ----------------------------------------------------------------------
+
+_LEGACY_RNG = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+        "normal", "lognormal", "standard_normal", "beta", "binomial",
+        "poisson", "exponential", "gamma", "geometric", "multinomial",
+        "RandomState", "get_state", "set_state", "random_integers",
+    }
+)
+
+
+@register_rule
+class GlobalNumpyRng(Rule):
+    """RPR102: global-state numpy randomness.
+
+    Reproducible training (the JNET-style exactly-reproducible joint
+    embedding requirement) demands explicit ``np.random.default_rng``
+    generators threaded through call sites; ``np.random.seed`` + the
+    legacy global functions make results depend on import order and
+    unrelated draws.
+    """
+
+    code = "RPR102"
+    name = "global-numpy-rng"
+    description = (
+        "legacy np.random.* global-state call; use "
+        "np.random.default_rng(seed) and pass the Generator"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Attribute):
+                if node.attr in _LEGACY_RNG and _is_numpy_attr(
+                    node.value, "random"
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        f"np.random.{node.attr} uses the global RNG; use "
+                        "np.random.default_rng and pass the Generator",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        if alias.name in _LEGACY_RNG:
+                            yield self.finding(
+                                context,
+                                node,
+                                f"importing {alias.name} from "
+                                f"{node.module} exposes the global RNG; "
+                                "use np.random.default_rng",
+                            )
+
+
+# ----------------------------------------------------------------------
+# RPR103 — telemetry metric-name convention
+# ----------------------------------------------------------------------
+
+_METRIC_NAME = re.compile(r"^repro(_[a-z0-9]+){2,}$")
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+@register_rule
+class MetricNameConvention(Rule):
+    """RPR103: metric names must follow the documented convention.
+
+    ``repro_<subsystem>_<name>_<unit>`` (README "Observability"):
+    lowercase, ``repro_`` prefix, at least three segments.  Counters
+    end in ``_total``; gauges and histograms must not (that suffix is
+    reserved).  Span names take the convention *without* the unit —
+    the histogram appends ``_seconds`` itself.
+    """
+
+    code = "RPR103"
+    name = "metric-name-convention"
+    description = (
+        "metric/span name literal must match repro_<subsystem>_<name>"
+        "_<unit> (counters end _total; spans omit the unit)"
+    )
+    scopes = frozenset({"src"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            name = first.value
+            kind = self._call_kind(node)
+            if kind is None:
+                continue
+            yield from self._check_name(context, first, kind, name)
+
+    @staticmethod
+    def _call_kind(node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _METRIC_METHODS:
+            return func.attr
+        if isinstance(func, ast.Name) and func.id == "span":
+            return "span"
+        return None
+
+    def _check_name(
+        self, context: FileContext, node: ast.AST, kind: str, name: str
+    ) -> Iterator[Finding]:
+        if not _METRIC_NAME.match(name):
+            yield self.finding(
+                context,
+                node,
+                f"{kind} name {name!r} violates the naming convention "
+                "repro_<subsystem>_<name>_<unit> (lowercase, >= 3 "
+                "segments)",
+            )
+            return
+        if kind == "counter" and not name.endswith("_total"):
+            yield self.finding(
+                context, node, f"counter name {name!r} must end in _total"
+            )
+        elif kind in ("gauge", "histogram") and name.endswith("_total"):
+            yield self.finding(
+                context,
+                node,
+                f"{kind} name {name!r} must not end in _total (reserved "
+                "for counters)",
+            )
+        elif kind == "span" and name.endswith("_seconds"):
+            yield self.finding(
+                context,
+                node,
+                f"span name {name!r} must omit the unit suffix; the span "
+                "histogram appends _seconds itself",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR104 — assert as input validation in production code
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class AssertInProduction(Rule):
+    """RPR104: ``assert`` in production code.
+
+    ``python -O`` strips asserts, silently disabling the check; raise
+    ``ValueError``/``TypeError``/``RuntimeError`` explicitly instead.
+    Tests keep using ``assert`` — that is pytest's contract — so this
+    rule is scoped to ``src``.
+    """
+
+    code = "RPR104"
+    name = "assert-in-production"
+    description = (
+        "assert is stripped under python -O; raise "
+        "ValueError/TypeError/RuntimeError explicitly"
+    )
+    scopes = frozenset({"src"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    context,
+                    node,
+                    "assert statement in production code (stripped under "
+                    "-O); raise an explicit exception",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR105 — float equality comparison
+# ----------------------------------------------------------------------
+
+
+def _is_nonzero_float(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+@register_rule
+class FloatEqualityComparison(Rule):
+    """RPR105: ``==``/``!=`` against a non-zero float literal.
+
+    Accumulated rounding makes such comparisons flaky.  Comparison to
+    ``0.0`` is exempt — the exact-zero guard (``if denom == 0.0``) is
+    a well-defined idiom for values produced by exact arithmetic.
+    Tests asserting bit-exact parity are the other legitimate user, so
+    the rule is scoped to ``src``.
+    """
+
+    code = "RPR105"
+    name = "float-equality"
+    description = (
+        "== / != against a non-zero float literal; compare with a "
+        "tolerance (0.0 guards are exempt)"
+    )
+    scopes = frozenset({"src"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_nonzero_float(left) or _is_nonzero_float(right):
+                    yield self.finding(
+                        context,
+                        node,
+                        "equality comparison against a non-zero float "
+                        "literal; use a tolerance (math.isclose / "
+                        "np.isclose) or an exact integer/flag",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# RPR106 — mutable default argument
+# ----------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+
+@register_rule
+class MutableDefaultArgument(Rule):
+    """RPR106: mutable default argument values.
+
+    ``def f(x, acc=[])`` shares one list across calls — a classic
+    state-leak between training runs.  Use ``None`` and construct
+    inside, or a ``dataclasses.field(default_factory=...)``.
+    """
+
+    code = "RPR106"
+    name = "mutable-default-argument"
+    description = "mutable default ([] / {} / set()); default to None"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        context,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+# ----------------------------------------------------------------------
+# RPR107 — __all__ drift
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class DunderAllDrift(Rule):
+    """RPR107: ``__all__`` out of sync with module definitions.
+
+    An entry naming nothing at module top level is a typo'd or removed
+    export (``from module import *`` raises at a distance; the public
+    API test only covers packages).  Duplicates are also drift.
+    """
+
+    code = "RPR107"
+    name = "dunder-all-drift"
+    description = (
+        "__all__ entry with no matching top-level definition, or a "
+        "duplicate entry"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        module = context.tree
+        if not isinstance(module, ast.Module):
+            return
+        all_node: ast.AST | None = None
+        entries: list[tuple[str, ast.AST]] = []
+        defined: set[str] = set()
+
+        for node in module.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            all_node = node.value
+                        defined.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for element in target.elts:
+                            if isinstance(element, ast.Name):
+                                defined.add(element.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    defined.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        # Star import: anything may be defined; bail out.
+                        return
+                    defined.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Conditional definitions (TYPE_CHECKING, fallbacks).
+                for sub in ast.walk(node):
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        defined.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if isinstance(target, ast.Name):
+                                defined.add(target.id)
+                    elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            if alias.name != "*":
+                                defined.add(
+                                    alias.asname or alias.name.split(".")[0]
+                                )
+
+        if all_node is None:
+            return
+        if not isinstance(all_node, (ast.List, ast.Tuple)):
+            yield self.finding(
+                context,
+                all_node,
+                "__all__ is not a literal list/tuple; drift cannot be "
+                "checked statically",
+            )
+            return
+        for element in all_node.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                yield self.finding(
+                    context, element, "__all__ entry is not a string literal"
+                )
+                continue
+            entries.append((element.value, element))
+
+        seen: set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield self.finding(
+                    context, node, f"duplicate __all__ entry {name!r}"
+                )
+                continue
+            seen.add(name)
+            if name not in defined:
+                yield self.finding(
+                    context,
+                    node,
+                    f"__all__ entry {name!r} has no top-level definition "
+                    "in this module",
+                )

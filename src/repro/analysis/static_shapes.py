@@ -1,0 +1,182 @@
+"""Static array-contract checking (rule RPR201).
+
+Where a call to a contracted ``repro.nn`` kernel can be traced to
+literal shapes — a direct ``np.zeros((2, 5, 3))`` argument, or a local
+name assigned from such a constructor in the same function — the
+kernel's :class:`~repro.analysis.contracts.KernelContract` is checked
+without running anything: ranks must match, and symbolic dimensions
+must unify across arguments (``window_values (2, 5, 3)`` with
+``valid (2, 4)`` is a ``W`` conflict).
+
+Dynamic shapes are simply not checked here; the runtime half of the
+contract layer (:func:`repro.analysis.contracts.check_call`) covers
+them in the nn test suite.  dtype kinds are also left to runtime —
+constructor dtype inference would guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.contracts import CONTRACTS, ContractError, bind_shape
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["StaticArrayContracts"]
+
+_SHAPE_CTORS = frozenset({"zeros", "ones", "empty", "full"})
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+# kernel function name -> importable module path (functions only;
+# bound methods cannot be resolved statically with this much machinery)
+_KERNEL_MODULES: dict[str, str] = {
+    "cosine_similarity": "repro.nn.cosine",
+    "cosine_similarity_backward": "repro.nn.cosine",
+    "pair_cosine": "repro.nn.cosine",
+    "exact_cosine": "repro.nn.cosine",
+    "unit_rows": "repro.nn.cosine",
+    "log_sum_exp_pool": "repro.nn.pooling",
+    "log_sum_exp_pool_backward": "repro.nn.pooling",
+}
+
+
+def _literal_shape(node: ast.AST) -> tuple[int, ...] | None:
+    """Shape of a literal ``np.zeros((2, 3))``-style constructor call."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    is_ctor = (
+        isinstance(func, ast.Attribute)
+        and func.attr in _SHAPE_CTORS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+    )
+    if not is_ctor or not node.args:
+        return None
+    shape_node = node.args[0]
+    if isinstance(shape_node, ast.Constant) and isinstance(
+        shape_node.value, int
+    ):
+        return (shape_node.value,)
+    if isinstance(shape_node, (ast.Tuple, ast.List)):
+        dims: list[int] = []
+        for element in shape_node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, int)
+            ):
+                return None
+            dims.append(element.value)
+        return tuple(dims)
+    return None
+
+
+@register_rule
+class StaticArrayContracts(Rule):
+    """RPR201: literal-shape call violating a kernel array contract."""
+
+    code = "RPR201"
+    name = "static-array-contract"
+    description = (
+        "call to a contracted repro.nn kernel with literal shapes that "
+        "violate its declared array contract"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        kernel_names = self._imported_kernels(context.tree)
+        if not kernel_names:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(context, node, kernel_names)
+
+    @staticmethod
+    def _imported_kernels(tree: ast.AST) -> dict[str, str]:
+        """Local name -> contract key, from this module's imports."""
+        mapping: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            for alias in node.names:
+                module = _KERNEL_MODULES.get(alias.name)
+                if module is not None and node.module == module:
+                    key = f"{module}.{alias.name}"
+                    if key in CONTRACTS:
+                        mapping[alias.asname or alias.name] = key
+        return mapping
+
+    def _check_function(
+        self,
+        context: FileContext,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        kernel_names: dict[str, str],
+    ) -> Iterator[Finding]:
+        known_shapes: dict[str, tuple[int, ...]] = {}
+        # Single forward pass in source order: assignments first bind
+        # names, later calls consume them.
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                shape = _literal_shape(node.value)
+                if shape is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            known_shapes[target.id] = shape
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Name):
+                continue
+            contract_key = kernel_names.get(func.id)
+            if contract_key is None:
+                continue
+            yield from self._check_call(
+                context, node, contract_key, known_shapes
+            )
+
+    def _check_call(
+        self,
+        context: FileContext,
+        call: ast.Call,
+        contract_key: str,
+        known_shapes: dict[str, tuple[int, ...]],
+    ) -> Iterator[Finding]:
+        contract = CONTRACTS[contract_key]
+        specs = list(contract.inputs.items())
+        bound: list[tuple[str, tuple[int, ...]]] = []
+        for position, argument in enumerate(call.args):
+            if position >= len(specs):
+                break
+            shape = self._resolve_shape(argument, known_shapes)
+            if shape is not None:
+                bound.append((specs[position][0], shape))
+        by_name = dict(specs)
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg not in by_name:
+                continue
+            shape = self._resolve_shape(keyword.value, known_shapes)
+            if shape is not None:
+                bound.append((keyword.arg, shape))
+        if not bound:
+            return
+        env: dict[str, int] = {}
+        for argument, shape in bound:
+            spec = by_name[argument]
+            if not spec.is_symbolic_only():
+                continue
+            try:
+                bind_shape(spec, shape, env, f"{contract.name}({argument})")
+            except ContractError as error:
+                yield self.finding(context, call, str(error))
+                return
+
+    @staticmethod
+    def _resolve_shape(
+        node: ast.AST, known_shapes: dict[str, tuple[int, ...]]
+    ) -> tuple[int, ...] | None:
+        direct = _literal_shape(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Name):
+            return known_shapes.get(node.id)
+        return None

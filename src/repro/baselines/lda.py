@@ -58,7 +58,8 @@ class LdaModel:
         return len(self._word_to_id) if self._word_to_id else 0
 
     def _encode(self, document: str) -> np.ndarray:
-        assert self._word_to_id is not None
+        if self._word_to_id is None:
+            raise RuntimeError("model is not fitted")
         ids = [
             self._word_to_id[word]
             for word in split_words(document)

@@ -60,7 +60,8 @@ class PlsaModel:
             self._word_to_id = {
                 word: index for index, word in enumerate(vocabulary)
             }
-        assert self._word_to_id is not None
+        if self._word_to_id is None:
+            raise RuntimeError("model is not fitted")
         counts = np.zeros((len(documents), len(self._word_to_id)))
         for row, words in enumerate(tokenized):
             for word in words:

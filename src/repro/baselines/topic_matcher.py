@@ -17,6 +17,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.entities import Event, Impression
+from repro.nn.cosine import exact_cosine
 
 __all__ = ["TopicBackend", "AggregatedTopicMatcher"]
 
@@ -94,12 +95,7 @@ class AggregatedTopicMatcher:
 
     def score(self, user_id: int, event: Event) -> float:
         """Cosine topic similarity, the matcher's ranking score."""
-        user = self.user_mixture(user_id)
-        item = self.event_mixture(event)
-        denom = float(np.linalg.norm(user) * np.linalg.norm(item))
-        if denom == 0.0:
-            return 0.0
-        return float(user @ item / denom)
+        return exact_cosine(self.user_mixture(user_id), self.event_mixture(event))
 
     def score_pairs(
         self, pairs: Sequence[tuple[int, Event]]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the life cycle a downstream user needs:
+Six subcommands cover the life cycle a downstream user needs:
 
 * ``repro-events generate`` — synthesize a dataset and save it;
 * ``repro-events train`` — train the joint representation model on a
@@ -10,7 +10,9 @@ Five subcommands cover the life cycle a downstream user needs:
 * ``repro-events experiment`` — run the paper's Table-1/Table-2
   evaluation end-to-end and print the reproduced tables;
 * ``repro-events metrics`` — render the final metrics snapshot of a
-  telemetry file (written via ``--metrics-out``) as Prometheus text.
+  telemetry file (written via ``--metrics-out``) as Prometheus text;
+* ``repro-events analyze`` — run the project's static-analysis rules
+  (``python -m repro.analysis`` behind a subcommand).
 
 Examples::
 
@@ -21,6 +23,7 @@ Examples::
         --user-id 3 --at-time 900 --top-k 5 --serving indexed
     repro-events experiment --scale small --tables 1 2
     repro-events metrics --telemetry telemetry.jsonl
+    repro-events analyze src tests benchmarks --format json
 
 ``--metrics-out PATH`` (on ``train`` and ``experiment``) enables the
 telemetry registry for the run and writes a JSONL file of per-epoch
@@ -134,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "--format", choices=("prometheus", "json"), default="prometheus"
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the project static-analysis rules (RPR codes)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    analyze.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    analyze.add_argument(
+        "--no-unused-noqa", action="store_true",
+        help="do not report stale # repro: noqa suppressions (RPR100)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
     )
     return parser
 
@@ -328,12 +355,28 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis.main import render_rule_list, run
+
+    if args.list_rules:
+        sys.stdout.write(render_rule_list())
+        return 0
+    select = args.select.split(",") if args.select else None
+    return run(
+        args.paths,
+        output_format=args.format,
+        select=select,
+        report_unused_suppressions=not args.no_unused_noqa,
+    )
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "recommend": _cmd_recommend,
     "experiment": _cmd_experiment,
     "metrics": _cmd_metrics,
+    "analyze": _cmd_analyze,
 }
 
 

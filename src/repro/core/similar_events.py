@@ -21,11 +21,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.entities import Event
+from repro.nn.cosine import unit_rows
 from repro.text.normalize import split_words
 
 __all__ = ["SimilarEvent", "SimilarEventIndex", "lexical_overlap"]
-
-_EPS = 1.0e-12
 
 
 def lexical_overlap(text_a: str, text_b: str) -> float:
@@ -58,8 +57,7 @@ class SimilarEventIndex:
                 f"{len(events)} events but {vectors.shape[0]} vectors"
             )
         self.events = list(events)
-        norms = np.sqrt((vectors * vectors).sum(axis=1, keepdims=True)) + _EPS
-        self._unit = vectors / norms
+        self._unit = unit_rows(vectors)
         self._id_to_row = {
             event.event_id: row for row, event in enumerate(self.events)
         }

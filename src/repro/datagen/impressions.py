@@ -26,6 +26,7 @@ from repro.datagen.config import DataConfig
 from repro.datagen.events import EventWorld
 from repro.datagen.users import UserWorld
 from repro.entities import Impression
+from repro.nn.cosine import exact_cosine
 from repro.nn.losses import sigmoid
 
 __all__ = ["SimulationResult", "simulate_impressions"]
@@ -146,8 +147,7 @@ def simulate_impressions(
         event = event_world.events[event_index]
         user_mix = user_world.mixtures[user_index]
         event_mix = event_world.mixtures[event_index]
-        denom = float(np.linalg.norm(user_mix) * np.linalg.norm(event_mix))
-        affinity = float(user_mix @ event_mix) / denom if denom else 0.0
+        affinity = exact_cosine(user_mix, event_mix)
         attendees = attendance[event.event_id]
         num_friends_going = len(friend_sets[user_index] & attendees)
         friend_signal = min(num_friends_going, 4) / 4.0

@@ -17,6 +17,8 @@ from __future__ import annotations
 import networkx as nx
 import numpy as np
 
+from repro.nn.cosine import unit_rows
+
 __all__ = ["build_friendship_graph", "graph_summary"]
 
 
@@ -48,9 +50,7 @@ def build_friendship_graph(
     if num_users < 2:
         return graph
 
-    norms = np.linalg.norm(topic_mixtures, axis=1)
-    norms[norms == 0.0] = 1.0
-    unit = topic_mixtures / norms[:, None]
+    unit = unit_rows(topic_mixtures, eps=0.0)
 
     # Per-user friend budgets: log-normal, heavy-tailed like real
     # degree distributions, at least 1.

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.cosine import exact_cosine
+
 __all__ = ["TopicSpec", "TOPICS", "TOPIC_NAMES", "TopicModel", "STOPWORDS"]
 
 
@@ -453,10 +455,7 @@ class TopicModel:
     def affinity(mixture_a: np.ndarray, mixture_b: np.ndarray) -> float:
         """Cosine of two topic mixtures — the ground-truth semantic
         match score that participation probabilities are built on."""
-        denom = float(np.linalg.norm(mixture_a) * np.linalg.norm(mixture_b))
-        if denom == 0.0:
-            return 0.0
-        return float(mixture_a @ mixture_b / denom)
+        return exact_cosine(mixture_a, mixture_b)
 
     def category_for(
         self, rng: np.random.Generator, topic_index: int

@@ -54,6 +54,7 @@ def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
     if num_positive == 0 or num_negative == 0:
         raise ValueError("AUC needs both classes present")
     ranks = rankdata(scores)
+    # repro: noqa[RPR105] labels are exact 0.0/1.0 sentinels, not computed floats
     positive_rank_sum = float(ranks[labels == 1.0].sum())
     auc = (
         positive_rank_sum - num_positive * (num_positive + 1) / 2.0

@@ -151,7 +151,8 @@ class TwoStageExperiment:
     def _pairs(self, impressions):
         """Encode (user, event, label) training triples, caching each
         unique entity's encoding."""
-        assert self.encoder is not None
+        if self.encoder is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
         user_cache: dict[int, object] = {}
         event_cache: dict[int, object] = {}
         users, events, labels = [], [], []

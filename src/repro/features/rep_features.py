@@ -19,10 +19,9 @@ import numpy as np
 
 from repro.core.model import JointUserEventModel
 from repro.entities import Event, User
+from repro.nn.cosine import pair_cosine
 
 __all__ = ["RepresentationFeatureProvider"]
-
-_EPS = 1.0e-12
 
 
 class RepresentationFeatureProvider:
@@ -91,14 +90,17 @@ class RepresentationFeatureProvider:
         return len(self.feature_names())
 
     def similarity(self, user_id: int, event_id: int) -> float:
-        """Cosine of the cached vectors, s_θ(u, e)."""
-        user_vec = self.user_vectors[user_id]
-        event_vec = self.event_vectors[event_id]
-        denom = (
-            float(np.linalg.norm(user_vec)) * float(np.linalg.norm(event_vec))
-            + _EPS
+        """Cosine of the cached vectors, s_θ(u, e).
+
+        Routed through the shared training-time kernel: a local
+        reimplementation here carried the epsilon *outside* the norm
+        product, so the ``rep_similarity`` feature the combiner
+        trained on differed from the model head (the same class of
+        divergence PR 3 fixed on the serving path — now RPR101).
+        """
+        return pair_cosine(
+            self.user_vectors[user_id], self.event_vectors[event_id]
         )
-        return float(user_vec @ event_vec / denom)
 
     def compute_row(self, user_id: int, event_id: int) -> np.ndarray:
         parts = []

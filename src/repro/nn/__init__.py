@@ -12,7 +12,9 @@ from repro.nn.cosine import (
     COSINE_EPS,
     cosine_similarity,
     cosine_similarity_backward,
+    exact_cosine,
     pair_cosine,
+    unit_rows,
 )
 from repro.nn.gradcheck import (
     check_parameter_gradient,
@@ -45,6 +47,7 @@ __all__ = [
     "contrastive_loss",
     "cosine_similarity",
     "cosine_similarity_backward",
+    "exact_cosine",
     "log_sum_exp_pool",
     "log_sum_exp_pool_backward",
     "max_relative_error",
@@ -52,5 +55,6 @@ __all__ = [
     "pad_batch",
     "pair_cosine",
     "sigmoid",
+    "unit_rows",
     "window_mask",
 ]

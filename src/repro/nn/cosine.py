@@ -16,7 +16,9 @@ __all__ = [
     "COSINE_EPS",
     "cosine_similarity",
     "cosine_similarity_backward",
+    "exact_cosine",
     "pair_cosine",
+    "unit_rows",
 ]
 
 COSINE_EPS = 1.0e-12
@@ -52,6 +54,41 @@ def pair_cosine(left: np.ndarray, right: np.ndarray) -> float:
     """
     sim, _ = cosine_similarity(left[None, :], right[None, :])
     return float(sim[0])
+
+
+def exact_cosine(left: np.ndarray, right: np.ndarray) -> float:
+    """Epsilon-free scalar cosine with an exact-zero guard.
+
+    For ground-truth affinities and baseline scores (topic mixtures,
+    LDA/pLSA posteriors) where the training head's epsilon convention
+    does not apply: a zero vector scores exactly ``0.0``, everything
+    else is the textbook ``a·b / (‖a‖‖b‖)``.  Model representation
+    vectors must go through :func:`pair_cosine` instead — this
+    function intentionally does *not* reproduce s_θ.
+    """
+    denom = float(np.linalg.norm(left) * np.linalg.norm(right))
+    if denom == 0.0:
+        return 0.0
+    return float(left @ right / denom)
+
+
+def unit_rows(matrix: np.ndarray, eps: float = COSINE_EPS) -> np.ndarray:
+    """Row-normalize a ``(n, dim)`` matrix for batched cosine.
+
+    With the default ``eps`` each row is ``r / (‖r‖ + ε)`` — matching
+    the per-row scale the serving index applies, so gram products of
+    the result agree with repeated :func:`pair_cosine` calls up to the
+    residual ``‖r‖/(‖r‖+ε)`` factors.  With ``eps=0.0`` zero rows
+    divide by 1 instead (they stay exactly zero) and non-zero rows are
+    exactly unit — the convention for ground-truth mixtures.
+    """
+    values = np.asarray(matrix)
+    norms = np.sqrt((values * values).sum(axis=1, keepdims=True))
+    if eps == 0.0:
+        norms[norms == 0.0] = 1.0
+    else:
+        norms = norms + eps
+    return values / norms
 
 
 def cosine_similarity_backward(

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import IO
+from typing import IO, Any
 
 from repro.obs.registry import MetricsRegistry
 
@@ -98,9 +98,9 @@ def render_prometheus(snapshot: list[dict]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def snapshot_record(registry: MetricsRegistry, **meta) -> dict:
+def snapshot_record(registry: MetricsRegistry, **meta: Any) -> dict:
     """A full metrics dump as one JSONL-able record."""
-    record = {"record": "snapshot", "metrics": registry.snapshot()}
+    record: dict = {"record": "snapshot", "metrics": registry.snapshot()}
     if meta:
         record["meta"] = meta
     return record
@@ -117,7 +117,7 @@ class TelemetryWriter:
         writer.close()
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -129,7 +129,7 @@ class TelemetryWriter:
         self._handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         self._handle.flush()
 
-    def write_snapshot(self, registry: MetricsRegistry, **meta) -> None:
+    def write_snapshot(self, registry: MetricsRegistry, **meta: Any) -> None:
         self.write(snapshot_record(registry, **meta))
 
     def close(self) -> None:
@@ -140,13 +140,13 @@ class TelemetryWriter:
     def __enter__(self) -> "TelemetryWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
 def read_telemetry(path: str | Path) -> list[dict]:
     """Parse every record of a JSONL telemetry file."""
-    records = []
+    records: list[dict] = []
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()

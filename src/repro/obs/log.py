@@ -32,7 +32,7 @@ LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
 
 class _LogConfig:
-    def __init__(self):
+    def __init__(self) -> None:
         self.stream: IO[str] | None = None  # None → sys.stderr at emit time
         self.min_level = "info"
         self.clock: Callable[[], float] | None = None
@@ -72,11 +72,16 @@ def reset() -> None:
 class log_context:
     """Scoped :func:`configure`: restores the previous config on exit."""
 
-    def __init__(self, stream=None, min_level=None, clock=None):
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        min_level: str | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self._overrides = (stream, min_level, clock)
         self._saved: _LogConfig | None = None
 
-    def __enter__(self):
+    def __enter__(self) -> "log_context":
         global _CONFIG
         self._saved = _CONFIG
         replacement = _LogConfig()
@@ -87,7 +92,7 @@ class log_context:
         configure(*self._overrides)
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> None:
         global _CONFIG
         if self._saved is not None:
             _CONFIG = self._saved
@@ -107,7 +112,7 @@ class StructuredLogger:
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
 
     def log(self, level: str, event: str, **tags: Any) -> None:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 import threading
 from collections.abc import Callable, Iterable, Mapping
+from typing import Any, Generic, TypeVar
 
 __all__ = [
     "Counter",
@@ -49,6 +50,8 @@ __all__ = [
 
 TagMap = Mapping[str, str]
 TagKey = tuple[tuple[str, str], ...]
+
+I = TypeVar("I")  # instrument type held by a metric family
 
 # Seconds-scale latency buckets: 100 µs .. 10 s, roughly 1-2-5.
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -70,7 +73,7 @@ class Counter:
 
     __slots__ = ("value",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -93,7 +96,7 @@ class Gauge:
 
     __slots__ = ("value",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -117,7 +120,7 @@ class _P2Quantile:
 
     __slots__ = ("q", "_initial", "heights", "positions", "desired", "increments")
 
-    def __init__(self, q: float):
+    def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {q}")
         self.q = q
@@ -196,7 +199,7 @@ class Histogram:
         self,
         buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
-    ):
+    ) -> None:
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("histogram needs at least one bucket bound")
@@ -246,18 +249,18 @@ class Histogram:
         return out
 
 
-class _Family:
+class _Family(Generic[I]):
     """All series of one metric name, keyed by tag tuple."""
 
     __slots__ = ("name", "kind", "series", "factory")
 
-    def __init__(self, name: str, kind: str, factory: Callable[[], object]):
+    def __init__(self, name: str, kind: str, factory: Callable[[], I]) -> None:
         self.name = name
         self.kind = kind
-        self.series: dict[TagKey, object] = {}
+        self.series: dict[TagKey, I] = {}
         self.factory = factory
 
-    def child(self, tags: TagMap | None):
+    def child(self, tags: TagMap | None) -> I:
         key = _tag_key(tags)
         instrument = self.series.get(key)
         if instrument is None:
@@ -276,14 +279,14 @@ class MetricsRegistry:
 
     enabled = True
 
-    def __init__(self):
-        self._families: dict[str, _Family] = {}
+    def __init__(self) -> None:
+        self._families: dict[str, _Family[Any]] = {}
         self._collectors: dict[str, Callable[[MetricsRegistry], None]] = {}
         self._lock = threading.Lock()
 
     # -- instrument accessors ------------------------------------------
 
-    def _family(self, name: str, kind: str, factory: Callable[[], object]) -> _Family:
+    def _family(self, name: str, kind: str, factory: Callable[[], I]) -> _Family[I]:
         family = self._families.get(name)
         if family is None:
             with self._lock:
@@ -420,11 +423,18 @@ class NullRegistry(MetricsRegistry):
     def gauge(self, name: str, tags: TagMap | None = None) -> Gauge:
         return _NULL_GAUGE
 
-    def histogram(self, name, tags=None, buckets=DEFAULT_LATENCY_BUCKETS,
-                  quantiles=DEFAULT_QUANTILES) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        tags: TagMap | None = None,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ) -> Histogram:
         return _NULL_HISTOGRAM
 
-    def register_collector(self, key, collect) -> None:
+    def register_collector(
+        self, key: str, collect: Callable[[MetricsRegistry], None]
+    ) -> None:
         pass
 
     def snapshot(self) -> list[dict]:
@@ -471,7 +481,7 @@ class use_registry:
         # previous (usually no-op) registry restored
     """
 
-    def __init__(self, registry: MetricsRegistry | None = None):
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._previous: MetricsRegistry | None = None
 
@@ -480,6 +490,6 @@ class use_registry:
         set_registry(self.registry)
         return self.registry
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self._previous is not None:
             set_registry(self._previous)

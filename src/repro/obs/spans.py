@@ -19,9 +19,11 @@ no-op context manager — no clock read, no allocation.
 
 from __future__ import annotations
 
+import functools
 import threading
 import time
 from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -58,7 +60,7 @@ class SpanRecorder:
 
     _global: "SpanRecorder | None" = None
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.records: list[dict] = []
 
     def add(self, record: dict) -> None:
@@ -82,7 +84,7 @@ class Span:
         tags: Mapping[str, str] | None,
         registry: MetricsRegistry,
         recorder: SpanRecorder | None,
-    ):
+    ) -> None:
         self.name = name
         self.tags = dict(tags) if tags else {}
         self.registry = registry
@@ -102,7 +104,7 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.seconds = time.perf_counter() - self._start
         stack = _stack()
         if stack and stack[-1] is self:
@@ -129,12 +131,12 @@ class _NullSpan:
     """Shared do-nothing span for the disabled-telemetry fast path."""
 
     __slots__ = ()
-    seconds = None
+    seconds: float | None = None
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         pass
 
 
@@ -159,17 +161,17 @@ def span(
     return Span(name, tags, registry, recorder)
 
 
-def timed(name: str, tags: Mapping[str, str] | None = None) -> Callable:
+def timed(
+    name: str, tags: Mapping[str, str] | None = None
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator form of :func:`span` for whole-function timing."""
 
-    def decorate(fn: Callable) -> Callable:
-        def wrapper(*args, **kwargs):
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             with span(name, tags=tags):
                 return fn(*args, **kwargs)
 
-        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
-        wrapper.__doc__ = fn.__doc__
-        wrapper.__wrapped__ = fn
         return wrapper
 
     return decorate

@@ -76,7 +76,7 @@ class VectorCache:
     capacity: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
         # Insertion order IS the recency order: head = LRU, tail = MRU.

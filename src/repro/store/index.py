@@ -110,7 +110,7 @@ class EventIndex:
     initial_capacity: int = _INITIAL_CAPACITY
     stats: IndexStats = field(default_factory=IndexStats)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.initial_capacity < 1:
             raise ValueError(
                 f"initial_capacity must be >= 1, got {self.initial_capacity}"
@@ -327,6 +327,7 @@ class EventIndex:
         values = np.asarray(query, dtype=np.float64)
         norm = np.sqrt(values @ values) + COSINE_EPS
         dots = self._select(self._matrix, rows) @ values
+        # repro: noqa[RPR101] fused GEMV form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
         return dots * (self._select(self._scales, rows) / norm)
 
     def scores_batch(
@@ -345,6 +346,7 @@ class EventIndex:
         norms = np.sqrt((values * values).sum(axis=1)) + COSINE_EPS
         dots = values @ self._select(self._matrix, rows).T
         scales = self._select(self._scales, rows)
+        # repro: noqa[RPR101] fused GEMM form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
         return dots * (scales[None, :] / norms[:, None])
 
     # ------------------------------------------------------------------
@@ -352,17 +354,37 @@ class EventIndex:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert internal consistency; cheap enough for tests."""
-        assert self._size == len(self._rows) == len(self._versions)
-        assert len(self._events) == self._size
-        assert sorted(self._rows.values()) == list(range(self._size))
+        """Raise ``RuntimeError`` on internal inconsistency.
+
+        Explicit raises (not ``assert``) so the checks survive ``-O``
+        and carry a description of what broke; cheap enough for tests.
+        """
+        if not (self._size == len(self._rows) == len(self._versions)):
+            raise RuntimeError(
+                f"size bookkeeping diverged: size={self._size}, "
+                f"rows={len(self._rows)}, versions={len(self._versions)}"
+            )
+        if len(self._events) != self._size:
+            raise RuntimeError(
+                f"event list length {len(self._events)} != size {self._size}"
+            )
+        if sorted(self._rows.values()) != list(range(self._size)):
+            raise RuntimeError("row indices are not a dense 0..size-1 range")
         for event_id, row in self._rows.items():
-            assert int(self._ids[row]) == event_id
-            assert self._events[row].event_id == event_id
+            if int(self._ids[row]) != event_id:
+                raise RuntimeError(
+                    f"id column mismatch at row {row}: "
+                    f"{int(self._ids[row])} != {event_id}"
+                )
+            if self._events[row].event_id != event_id:
+                raise RuntimeError(
+                    f"event record mismatch at row {row} for id {event_id}"
+                )
         if self._size:
             live = self._matrix[: self._size]
             norms = np.sqrt((live * live).sum(axis=1))
-            assert np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0))
+            if not np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0)):
+                raise RuntimeError("live rows are neither unit-norm nor zero")
 
 
 def brute_force_order(

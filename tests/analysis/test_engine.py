@@ -1,0 +1,152 @@
+"""Engine mechanics: scoping, suppressions, syntax errors, registry."""
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    rules_by_code,
+    scope_for_path,
+)
+
+SRC = "src/repro/example.py"
+
+
+class TestScopeForPath:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/core/model.py",
+            "src/repro/cli.py",
+            "examples_dir/helper.py",
+        ],
+    )
+    def test_src(self, path):
+        assert scope_for_path(path) == "src"
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "tests/nn/test_losses.py",
+            "benchmarks/bench_serving.py",
+            "examples/quickstart.py",
+            "src/repro/conftest.py",
+            "test_anything.py",
+        ],
+    )
+    def test_test(self, path):
+        assert scope_for_path(path) == "test"
+
+
+class TestSuppressions:
+    def test_inline_noqa_suppresses(self):
+        source = "def f(x):\n    assert x  # repro: noqa[RPR104] checked upstream\n"
+        assert analyze_source(source, SRC) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "def f(x):\n    assert x  # repro: noqa[RPR105]\n"
+        codes = {f.code for f in analyze_source(source, SRC)}
+        # the assert still fires AND the noqa is reported stale
+        assert codes == {"RPR104", "RPR100"}
+
+    def test_multiple_codes_comma_separated(self):
+        source = (
+            "def f(x):\n"
+            "    assert x == 1.5  # repro: noqa[RPR104, RPR105] oracle\n"
+        )
+        assert analyze_source(source, SRC) == []
+
+    def test_standalone_comment_suppresses_next_line(self):
+        source = (
+            "def f(x):\n"
+            "    # repro: noqa[RPR104] justification too long for inline\n"
+            "    assert x\n"
+        )
+        assert analyze_source(source, SRC) == []
+
+    def test_docstring_noqa_is_not_a_suppression(self):
+        source = (
+            'def f(x):\n'
+            '    """Example: use  # repro: noqa[RPR104]  to suppress."""\n'
+            '    assert x\n'
+        )
+        codes = [f.code for f in analyze_source(source, SRC)]
+        # the docstring neither suppresses line 3 nor counts as stale
+        assert codes == ["RPR104"]
+
+    def test_unused_noqa_reported_as_rpr100(self):
+        source = "def f(x):\n    return x  # repro: noqa[RPR104]\n"
+        findings = analyze_source(source, SRC)
+        assert [f.code for f in findings] == ["RPR100"]
+        assert "RPR104" in findings[0].message
+
+    def test_unused_noqa_not_reported_when_disabled(self):
+        source = "def f(x):\n    return x  # repro: noqa[RPR104]\n"
+        assert (
+            analyze_source(source, SRC, report_unused_suppressions=False)
+            == []
+        )
+
+    def test_unused_noqa_not_reported_for_deselected_rule(self):
+        # Only RPR105 runs; an RPR104 noqa may be live under a full
+        # run, so it must not be called stale here.
+        source = "def f(x):\n    return x  # repro: noqa[RPR104]\n"
+        rules = rules_by_code(["RPR105"])
+        assert analyze_source(source, SRC, rules=rules) == []
+
+    def test_out_of_scope_rule_noqa_not_reported(self):
+        # RPR104 does not run in test scope, so a test-file noqa for it
+        # is not checkable — no RPR100.
+        source = "def f(x):\n    assert x  # repro: noqa[RPR104]\n"
+        assert analyze_source(source, "tests/test_example.py") == []
+
+
+class TestSyntaxError:
+    def test_rpr999_instead_of_exception(self):
+        findings = analyze_source("def f(:\n", SRC)
+        assert len(findings) == 1
+        assert findings[0].code == "RPR999"
+        assert "syntax error" in findings[0].message
+
+
+class TestRegistry:
+    def test_all_rules_sorted_and_complete(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        for expected in (
+            "RPR101", "RPR102", "RPR103", "RPR104",
+            "RPR105", "RPR106", "RPR107", "RPR201",
+        ):
+            assert expected in codes
+
+    def test_select_filters(self):
+        rules = rules_by_code(["RPR104", "rpr105"])  # case-insensitive
+        assert [rule.code for rule in rules] == ["RPR104", "RPR105"]
+
+    def test_unknown_code_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            rules_by_code(["RPR104", "RPR404"])
+
+
+class TestFileWalking:
+    def test_skips_pycache_and_non_python(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "ok.cpython-311.py").write_text("")
+        (tmp_path / "pkg" / "notes.pytxt").write_text("assert False\n")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_analyze_paths_sorts_findings(self, tmp_path):
+        (tmp_path / "b.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+        (tmp_path / "a.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+        findings = analyze_paths([tmp_path])
+        assert [f.path for f in findings] == sorted(f.path for f in findings)
+        assert {f.code for f in findings} == {"RPR102"}

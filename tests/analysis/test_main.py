@@ -1,0 +1,103 @@
+"""Exit codes and report plumbing of the analyzer CLI entry points."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import main as analysis_main
+from repro.analysis.main import render_rule_list, run
+from repro.cli import main as cli_main
+
+CLEAN = "def f(x):\n    if x < 0:\n        raise ValueError(x)\n    return x\n"
+DIRTY = "def f(x):\n    assert x\n    return x\n"
+
+
+@pytest.fixture
+def src_tree(tmp_path):
+    """A fake src/ layout the analyzer scans with production scope."""
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+
+    def write(name, source):
+        (package / name).write_text(source)
+        return tmp_path / "src"
+
+    return write
+
+
+class TestExitCodes:
+    def test_clean_exits_0(self, src_tree, capsys):
+        root = src_tree("clean.py", CLEAN)
+        assert run([str(root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, src_tree, capsys):
+        root = src_tree("dirty.py", DIRTY)
+        assert run([str(root)]) == 1
+        assert "RPR104" in capsys.readouterr().out
+
+    def test_unknown_select_code_exits_2(self, src_tree, capsys):
+        root = src_tree("clean.py", CLEAN)
+        assert run([str(root)], select=["RPR404"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert run([str(tmp_path / "missing")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+
+class TestReportPlumbing:
+    def test_json_format(self, src_tree):
+        root = src_tree("dirty.py", DIRTY)
+        stream = io.StringIO()
+        assert run([str(root)], output_format="json", stream=stream) == 1
+        document = json.loads(stream.getvalue())
+        assert document["summary"]["by_code"] == {"RPR104": 1}
+
+    def test_select_narrows_rules(self, src_tree):
+        root = src_tree("dirty.py", DIRTY)
+        stream = io.StringIO()
+        assert run([str(root)], select=["RPR105"], stream=stream) == 0
+
+    def test_render_rule_list_mentions_every_code(self):
+        listing = render_rule_list()
+        for code in ("RPR101", "RPR107", "RPR201"):
+            assert code in listing
+
+
+class TestArgparseEntry:
+    def test_module_main_clean(self, src_tree, capsys):
+        root = src_tree("clean.py", CLEAN)
+        assert analysis_main([str(root)]) == 0
+        capsys.readouterr()
+
+    def test_module_main_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        assert "RPR104" in capsys.readouterr().out
+
+    def test_module_main_json(self, src_tree, capsys):
+        root = src_tree("dirty.py", DIRTY)
+        assert analysis_main([str(root), "--format", "json"]) == 1
+        json.loads(capsys.readouterr().out)
+
+
+class TestCliSubcommand:
+    def test_analyze_clean(self, src_tree, capsys):
+        root = src_tree("clean.py", CLEAN)
+        assert cli_main(["analyze", str(root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_analyze_findings(self, src_tree, capsys):
+        root = src_tree("dirty.py", DIRTY)
+        assert cli_main(["analyze", str(root)]) == 1
+        assert "RPR104" in capsys.readouterr().out
+
+    def test_analyze_usage_error(self, src_tree, capsys):
+        root = src_tree("clean.py", CLEAN)
+        assert cli_main(["analyze", str(root), "--select", "NOPE"]) == 2
+        capsys.readouterr()
+
+    def test_analyze_list_rules(self, capsys):
+        assert cli_main(["analyze", "--list-rules"]) == 0
+        assert "RPR101" in capsys.readouterr().out

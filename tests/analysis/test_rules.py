@@ -1,0 +1,96 @@
+"""Per-rule behaviour over good/bad fixture programs."""
+
+import pytest
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    [
+        "rpr101_good.pytxt",
+        "rpr102_good.pytxt",
+        "rpr103_good.pytxt",
+        "rpr104_good.pytxt",
+        "rpr105_good.pytxt",
+        "rpr106_good.pytxt",
+        "rpr107_good.pytxt",
+        "rpr201_good.pytxt",
+    ],
+)
+def test_good_fixtures_are_clean(analyze_fixture, fixture):
+    assert analyze_fixture(fixture) == []
+
+
+@pytest.mark.parametrize(
+    "fixture, code, count",
+    [
+        ("rpr101_bad.pytxt", "RPR101", 4),
+        ("rpr102_bad.pytxt", "RPR102", 3),
+        ("rpr103_bad.pytxt", "RPR103", 5),
+        ("rpr104_bad.pytxt", "RPR104", 1),
+        ("rpr105_bad.pytxt", "RPR105", 2),
+        ("rpr106_bad.pytxt", "RPR106", 3),
+        ("rpr107_bad.pytxt", "RPR107", 2),
+        ("rpr201_bad.pytxt", "RPR201", 1),
+    ],
+)
+def test_bad_fixtures_flagged(analyze_fixture, fixture, code, count):
+    findings = analyze_fixture(fixture)
+    assert [f.code for f in findings] == [code] * count
+
+
+class TestRpr101Regression:
+    """RPR101 must catch the actual pre-PR-3 serving-score bug."""
+
+    FIXTURE = "rpr101_service_score_pre_pr3.pytxt"
+
+    def test_pre_pr3_score_is_flagged(self, analyze_fixture):
+        findings = analyze_fixture(self.FIXTURE)
+        assert [f.code for f in findings] == ["RPR101"]
+        # the flagged expression is the dot-over-norm division inside
+        # score(), i.e. the `user_vec @ event_vec / denom` line
+        assert findings[0].line == 25
+        assert "repro.nn.cosine" in findings[0].message
+
+    def test_not_flagged_in_test_scope(self, analyze_fixture):
+        # the same code pasted into a test file (e.g. as an oracle)
+        # is legitimate — RPR101 is production-scoped
+        assert analyze_fixture(self.FIXTURE, scope="test") == []
+
+
+class TestRuleScoping:
+    @pytest.mark.parametrize(
+        "fixture",
+        [
+            "rpr101_bad.pytxt",   # reference cosines allowed in tests
+            "rpr103_bad.pytxt",   # toy metric names allowed in tests
+            "rpr104_bad.pytxt",   # pytest's assert contract
+            "rpr105_bad.pytxt",   # exact float oracles
+        ],
+    )
+    def test_src_only_rules_skip_test_scope(self, analyze_fixture, fixture):
+        assert analyze_fixture(fixture, scope="test") == []
+
+    @pytest.mark.parametrize(
+        "fixture, code",
+        [
+            ("rpr102_bad.pytxt", "RPR102"),  # determinism matters in tests too
+            ("rpr106_bad.pytxt", "RPR106"),
+            ("rpr107_bad.pytxt", "RPR107"),
+            ("rpr201_bad.pytxt", "RPR201"),
+        ],
+    )
+    def test_both_scope_rules_fire_in_tests(self, analyze_fixture, fixture, code):
+        assert {f.code for f in analyze_fixture(fixture, scope="test")} == {code}
+
+
+class TestRpr101Detector:
+    def test_fused_index_form_needs_suppression(self, analyze_fixture):
+        # the EventIndex GEMV form: dot via @, scale/norm division
+        findings = analyze_fixture("rpr101_bad.pytxt")
+        lines = [f.line for f in findings]
+        assert lines == sorted(lines)
+
+    def test_self_dot_is_not_similarity(self, analyze_fixture):
+        # norm_only() in the good fixture divides a @ a by a count —
+        # self-products are norm machinery, not cosine
+        assert analyze_fixture("rpr101_good.pytxt") == []

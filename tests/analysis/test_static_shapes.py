@@ -1,0 +1,85 @@
+"""RPR201: static literal-shape checking of contracted kernel calls."""
+
+from repro.analysis import analyze_source
+
+SRC = "src/repro/example.py"
+
+
+def analyze(source):
+    return analyze_source(source, SRC)
+
+
+def test_fixture_conflict_flagged(analyze_fixture):
+    findings = analyze_fixture("rpr201_bad.pytxt")
+    assert [f.code for f in findings] == ["RPR201"]
+    assert "already bound" in findings[0].message
+
+
+def test_direct_literal_arguments():
+    source = (
+        "import numpy as np\n"
+        "from repro.nn.cosine import cosine_similarity\n"
+        "def f():\n"
+        "    return cosine_similarity(np.zeros((3, 4)), np.zeros((5, 4)))\n"
+    )
+    findings = analyze(source)
+    assert [f.code for f in findings] == ["RPR201"]
+
+
+def test_keyword_arguments_checked():
+    source = (
+        "import numpy as np\n"
+        "from repro.nn.pooling import log_sum_exp_pool\n"
+        "def f():\n"
+        "    return log_sum_exp_pool(\n"
+        "        window_values=np.zeros((2, 5, 3)), valid=np.ones((3, 5))\n"
+        "    )\n"
+    )
+    findings = analyze(source)
+    assert [f.code for f in findings] == ["RPR201"]
+    assert "B" in findings[0].message
+
+
+def test_aliased_import_resolved():
+    source = (
+        "import numpy as np\n"
+        "from repro.nn.cosine import cosine_similarity as cos\n"
+        "def f():\n"
+        "    return cos(np.zeros((3, 4)), np.zeros((5, 4)))\n"
+    )
+    assert [f.code for f in analyze(source)] == ["RPR201"]
+
+
+def test_unrelated_import_of_same_name_ignored():
+    # a local cosine_similarity from another module is not contracted
+    source = (
+        "import numpy as np\n"
+        "from mylib.metrics import cosine_similarity\n"
+        "def f():\n"
+        "    return cosine_similarity(np.zeros((3, 4)), np.zeros((5, 4)))\n"
+    )
+    assert analyze(source) == []
+
+
+def test_rank_mismatch_flagged():
+    source = (
+        "import numpy as np\n"
+        "from repro.nn.cosine import unit_rows\n"
+        "def f():\n"
+        "    return unit_rows(np.zeros(7))\n"
+    )
+    findings = analyze(source)
+    assert [f.code for f in findings] == ["RPR201"]
+    assert "rank mismatch" in findings[0].message
+
+
+def test_consistent_call_clean():
+    source = (
+        "import numpy as np\n"
+        "from repro.nn.cosine import cosine_similarity\n"
+        "def f():\n"
+        "    left = np.zeros((3, 4))\n"
+        "    right = np.ones((3, 4))\n"
+        "    return cosine_similarity(left, right)\n"
+    )
+    assert analyze(source) == []
