@@ -16,8 +16,15 @@ mechanically instead of re-found in review:
   statically where literal shapes allow
   (:mod:`repro.analysis.static_shapes`, code RPR201) and asserted at
   runtime in tests otherwise.
-* **Reporters** (:mod:`repro.analysis.reporters`) — text and JSON
-  output over the same finding records.
+* **Interprocedural layer** (:mod:`repro.analysis.callgraph`) — a
+  whole-project symbol table and call graph feeding three passes:
+  cross-function contract propagation
+  (:mod:`repro.analysis.dataflow`, RPR202), determinism taint
+  (:mod:`repro.analysis.determinism`, RPR301–RPR303), and
+  ``# guarded-by:`` lock discipline (:mod:`repro.analysis.locks`,
+  RPR401–RPR403).
+* **Reporters** (:mod:`repro.analysis.reporters`) — text, JSON, and
+  SARIF output over the same finding records.
 
 Run it over the repository::
 
@@ -36,8 +43,10 @@ from repro.analysis.contracts import (
 )
 from repro.analysis.engine import (
     Finding,
+    ProjectRule,
     Rule,
     all_rules,
+    analyze_files,
     analyze_paths,
     analyze_source,
     iter_python_files,
@@ -45,7 +54,7 @@ from repro.analysis.engine import (
     scope_for_path,
 )
 from repro.analysis.main import main
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "ArraySpec",
@@ -53,14 +62,17 @@ __all__ = [
     "ContractError",
     "Finding",
     "KernelContract",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "analyze_files",
     "analyze_paths",
     "analyze_source",
     "check_call",
     "iter_python_files",
     "main",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules_by_code",
     "scope_for_path",

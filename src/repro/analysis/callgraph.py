@@ -1,0 +1,470 @@
+"""Whole-project symbol table and call graph for interprocedural rules.
+
+The per-file rules (RPR1xx, RPR201) stop at function boundaries; the
+interprocedural passes (RPR202 contract propagation, RPR30x
+determinism taint, RPR40x lock discipline) need to know *who calls
+whom* across modules.  This module builds that view once per analyzer
+run:
+
+* :class:`Project` — every parsed file, a module table keyed by dotted
+  module name (``src/repro/store/index.py`` → ``repro.store.index``),
+  and per-module import/alias maps (``import numpy as np``, ``from
+  repro.nn.cosine import pair_cosine as pc``, relative imports).
+* :class:`FunctionInfo` / :class:`ClassInfo` — one record per
+  module-level function, class, and method, keyed by qualified name
+  (``repro.store.index.EventIndex.upsert``).
+* :class:`CallGraph` — resolved call sites.  Resolution covers direct
+  names (local or imported), dotted module attributes
+  (``module.func(...)`` through an import alias), ``self.method(...)``
+  inside a class, and method calls on locals whose class is known from
+  a parameter annotation or a constructor assignment in the same
+  function (``index = EventIndex(); index.upsert(...)``).
+
+Resolution is deliberately best-effort: anything dynamic (globals(),
+getattr, decorators returning new callables, inheritance dispatch)
+stays unresolved and the dependent passes simply know less.  That is
+the right failure mode for a linter — silence, not false alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import FileContext
+
+__all__ = [
+    "module_name_for_path",
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "Project",
+    "CallGraph",
+    "build_project",
+    "local_class_types",
+]
+
+
+def module_name_for_path(path: str | Path) -> str:
+    """Dotted module name for a source path.
+
+    Files under a ``src`` directory are named from the package root
+    (``src/repro/store/index.py`` → ``repro.store.index``); anything
+    else (tests, benchmarks, examples, bare scripts) is named from its
+    path so distinct files never collide (``tests/store/test_index.py``
+    → ``tests.store.test_index``).
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src") :]
+    parts = [part for part in parts if part not in ("", ".", "..")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<anonymous>"
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    context: FileContext
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        return [
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+
+
+@dataclass
+class ClassInfo:
+    """One module-level class and its directly defined methods."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    context: FileContext
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at ``node``.
+
+    ``caller`` is the qualified name of the enclosing function/method,
+    or ``<module>.<body>`` for module-level statements.  ``kind`` is
+    ``"function"`` for calls resolved to a project function/method and
+    ``"class"`` for constructor calls resolved to a project class.
+    """
+
+    caller: str
+    callee: str
+    kind: str
+    path: str
+    line: int
+    col: int
+
+
+def _module_body_qualname(module: str) -> str:
+    return f"{module}.<body>"
+
+
+class Project:
+    """Parsed files + symbol tables, shared by the project rules."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self.contexts: list[FileContext] = list(contexts)
+        self.modules: dict[str, FileContext] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.imports: dict[str, dict[str, str]] = {}
+        self._classes_by_name: dict[str, list[ClassInfo]] = defaultdict(list)
+        for context in self.contexts:
+            module = module_name_for_path(context.path)
+            # First file wins on (pathological) module-name collision.
+            if module in self.modules:
+                continue
+            self.modules[module] = context
+            self.imports[module] = _collect_imports(context.tree, module)
+            self._collect_definitions(module, context)
+
+    # -- construction --------------------------------------------------
+
+    def _collect_definitions(self, module: str, context: FileContext) -> None:
+        tree = context.tree
+        if not isinstance(tree, ast.Module):
+            return
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module}.{node.name}",
+                    module=module,
+                    name=node.name,
+                    class_name=None,
+                    node=node,
+                    context=context,
+                )
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(
+                    qualname=f"{module}.{node.name}",
+                    module=module,
+                    name=node.name,
+                    node=node,
+                    context=context,
+                )
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method = FunctionInfo(
+                            qualname=f"{cls.qualname}.{item.name}",
+                            module=module,
+                            name=item.name,
+                            class_name=node.name,
+                            node=item,
+                            context=context,
+                        )
+                        cls.methods[item.name] = method
+                        self.functions[method.qualname] = method
+                self.classes[cls.qualname] = cls
+                self._classes_by_name[cls.name].append(cls)
+
+    # -- lookup --------------------------------------------------------
+
+    def module_of(self, context: FileContext) -> str:
+        return module_name_for_path(context.path)
+
+    def class_named(self, name: str) -> ClassInfo | None:
+        """The unique project class with this simple name, else None."""
+        candidates = self._classes_by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def resolve_name(self, module: str, name: str) -> str | None:
+        """Resolve a bare name used in ``module`` to a qualified name."""
+        direct = f"{module}.{name}"
+        if direct in self.functions or direct in self.classes:
+            return direct
+        target = self.imports.get(module, {}).get(name)
+        if target is not None and (
+            target in self.functions or target in self.classes
+        ):
+            return target
+        return None
+
+    def resolve_dotted(self, module: str, dotted: str) -> str | None:
+        """Resolve ``alias.attr[.attr...]`` through the import map."""
+        head, _, rest = dotted.partition(".")
+        if not rest:
+            return self.resolve_name(module, dotted)
+        target = self.imports.get(module, {}).get(head)
+        if target is None:
+            return None
+        qualified = f"{target}.{rest}"
+        if qualified in self.functions or qualified in self.classes:
+            return qualified
+        return None
+
+    def functions_in(self, context: FileContext) -> Iterator[FunctionInfo]:
+        module = self.module_of(context)
+        for info in self.functions.values():
+            if info.module == module:
+                yield info
+
+
+def _collect_imports(tree: ast.AST, module: str) -> dict[str, str]:
+    """Local name → fully qualified import target for one module."""
+    mapping: dict[str, str] = {}
+    package_parts = module.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    mapping[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds ``a``; dotted uses are
+                    # resolved via resolve_dotted joining the rest.
+                    mapping[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - node.level + 1]
+                base = ".".join(
+                    base_parts + ([node.module] if node.module else [])
+                )
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return mapping
+
+
+def _annotation_class_name(annotation: ast.AST | None) -> str | None:
+    """Trailing class name of a parameter annotation, if plausible."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        # String annotation: take the trailing dotted segment.
+        text = annotation.value.strip()
+        if text.replace(".", "").replace("_", "").isalnum():
+            return text.split(".")[-1]
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        # ``EventIndex | None`` — use the non-None side when unique.
+        sides = [
+            _annotation_class_name(side)
+            for side in (annotation.left, annotation.right)
+        ]
+        names = [name for name in sides if name is not None and name != "None"]
+        return names[0] if len(names) == 1 else None
+    return None
+
+
+def local_class_types(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: str,
+    project: Project,
+) -> dict[str, ClassInfo]:
+    """Names in ``function`` whose project class is statically known.
+
+    Two evidence sources: parameter annotations naming a project class,
+    and assignments from a constructor call (``x = EventIndex(...)``).
+    A name rebound to anything unrecognized is dropped — better to
+    know nothing than the wrong class.
+    """
+    types: dict[str, ClassInfo] = {}
+    args = function.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        name = _annotation_class_name(arg.annotation)
+        if name is None:
+            continue
+        cls = project.class_named(name)
+        if cls is not None:
+            types[arg.arg] = cls
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        assigned: ClassInfo | None = None
+        if isinstance(value, ast.Call):
+            callee: str | None = None
+            if isinstance(value.func, ast.Name):
+                callee = project.resolve_name(module, value.func.id)
+            elif isinstance(value.func, ast.Attribute):
+                dotted = _dotted_name(value.func)
+                if dotted is not None:
+                    callee = project.resolve_dotted(module, dotted)
+            if callee is not None:
+                assigned = project.classes.get(callee)
+        if assigned is not None:
+            types[target.id] = assigned
+        elif target.id in types:
+            del types[target.id]
+    return types
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chain as a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class CallGraph:
+    """Resolved call sites over a :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.calls: list[CallSite] = []
+        self.calls_in: dict[str, list[CallSite]] = defaultdict(list)
+        self.callers_of: dict[str, list[CallSite]] = defaultdict(list)
+        for module, context in project.modules.items():
+            self._resolve_module(module, context)
+
+    def _resolve_module(self, module: str, context: FileContext) -> None:
+        tree = context.tree
+        if not isinstance(tree, ast.Module):
+            return
+        # Enclosing-function map: walk each function body separately so
+        # call sites attribute to the innermost def.
+        for info in list(self.project.functions.values()):
+            if info.module != module:
+                continue
+            types = local_class_types(info.node, module, self.project)
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    self._resolve_call(module, context, info, types, node)
+        # Module-level calls (decorators, top-level statements).
+        function_nodes = {
+            id(info.node)
+            for info in self.project.functions.values()
+            if info.module == module
+        }
+        for node in _walk_outside_functions(tree, function_nodes):
+            if isinstance(node, ast.Call):
+                self._resolve_call(module, context, None, {}, node)
+
+    def _resolve_call(
+        self,
+        module: str,
+        context: FileContext,
+        enclosing: FunctionInfo | None,
+        local_types: dict[str, ClassInfo],
+        node: ast.Call,
+    ) -> None:
+        callee, kind = self._resolve_callee(module, enclosing, local_types, node)
+        if callee is None:
+            return
+        caller = (
+            enclosing.qualname
+            if enclosing is not None
+            else _module_body_qualname(module)
+        )
+        site = CallSite(
+            caller=caller,
+            callee=callee,
+            kind=kind,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+        self.calls.append(site)
+        self.calls_in[caller].append(site)
+        self.callers_of[callee].append(site)
+
+    def _resolve_callee(
+        self,
+        module: str,
+        enclosing: FunctionInfo | None,
+        local_types: dict[str, ClassInfo],
+        node: ast.Call,
+    ) -> tuple[str | None, str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self.project.resolve_name(module, func.id)
+            if resolved is None:
+                return None, ""
+            kind = "class" if resolved in self.project.classes else "function"
+            return resolved, kind
+        if isinstance(func, ast.Attribute):
+            # self.method(...) inside a class body.
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and enclosing is not None
+                and enclosing.class_name is not None
+            ):
+                cls = self.project.classes.get(
+                    f"{module}.{enclosing.class_name}"
+                )
+                if cls is not None and func.attr in cls.methods:
+                    return cls.methods[func.attr].qualname, "function"
+                return None, ""
+            # obj.method(...) on a local of known project class.
+            if isinstance(func.value, ast.Name):
+                cls = local_types.get(func.value.id)
+                if cls is not None and func.attr in cls.methods:
+                    return cls.methods[func.attr].qualname, "function"
+            # module.func(...) through an import alias chain.
+            dotted = _dotted_name(func)
+            if dotted is not None:
+                resolved = self.project.resolve_dotted(module, dotted)
+                if resolved is not None:
+                    kind = (
+                        "class"
+                        if resolved in self.project.classes
+                        else "function"
+                    )
+                    return resolved, kind
+        return None, ""
+
+
+def _walk_outside_functions(
+    tree: ast.Module, function_nodes: set[int]
+) -> Iterator[ast.AST]:
+    """Walk the module without descending into known function bodies."""
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if id(node) in function_nodes:
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_project(contexts: Sequence[FileContext]) -> tuple[Project, CallGraph]:
+    """Convenience: symbol tables + call graph in one call."""
+    project = Project(contexts)
+    return project, CallGraph(project)

@@ -1,0 +1,327 @@
+"""Cross-function array-contract propagation (rule RPR202).
+
+RPR201 (:mod:`repro.analysis.static_shapes`) checks calls to
+contracted kernels where the literal shapes are visible *inside one
+function*.  This pass makes the contracts flow through call sites: a
+function that forwards a parameter into a contracted kernel (or into
+another already-summarized function — transitively, through wrappers)
+inherits the kernel's :class:`~repro.analysis.contracts.ArraySpec`
+for that parameter, together with any symbol bindings fixed by
+literal arrays inside its body.  A caller that passes a literal-shaped
+array violating the derived contract is flagged as RPR202 even though
+no contracted kernel appears at the call site::
+
+    def fused_scores(queries):            # inherits queries: (B, D)
+        ref = np.zeros((10, 128))         # binds B=10, D=128
+        return cosine_similarity(queries, ref)
+
+    fused_scores(np.zeros((10, 64)))      # RPR202: D is 64, bound to 128
+
+Summaries are computed to a fixpoint over the project call graph, so
+``rep_features → wrapper → nn.cosine`` chains propagate.  Anything
+dynamic simply contributes no summary — silence, not false alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, Project
+from repro.analysis.contracts import (
+    CONTRACTS,
+    ArraySpec,
+    ContractError,
+    bind_shape,
+)
+from repro.analysis.engine import Finding, ProjectRule, register_rule
+from repro.analysis.static_shapes import _literal_shape
+
+__all__ = ["FunctionContract", "CrossFunctionContracts", "build_summaries"]
+
+_MAX_FIXPOINT_PASSES = 10
+
+
+@dataclass
+class FunctionContract:
+    """Derived array contract of a project function.
+
+    ``inputs`` maps parameter names to the specs they inherit from the
+    contracted calls they flow into; ``env`` carries symbol bindings
+    fixed by literal arrays inside the function body; ``origin`` names
+    the underlying kernel contract, for diagnostics.
+    """
+
+    inputs: dict[str, ArraySpec] = field(default_factory=dict)
+    env: dict[str, int] = field(default_factory=dict)
+    origin: str = ""
+
+    def signature(self) -> tuple:
+        return (
+            tuple(sorted((k, v.shape, v.dtype) for k, v in self.inputs.items())),
+            tuple(sorted(self.env.items())),
+            self.origin,
+        )
+
+
+def _resolve_kernel_contract(
+    project: Project, module: str, call: ast.Call
+) -> str | None:
+    """Contract key when ``call`` targets a contracted kernel.
+
+    Resolution goes through the module's import map rather than the
+    call graph, because the kernels need not be part of the analyzed
+    project (a single-file analysis still knows ``from
+    repro.nn.pooling import log_sum_exp_pool``).
+    """
+    imports = project.imports.get(module, {})
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = imports.get(func.id, f"{module}.{func.id}")
+        return target if target in CONTRACTS else None
+    if isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        node: ast.AST = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = imports.get(node.id)
+        if head is None:
+            return None
+        target = ".".join([head, *reversed(parts)])
+        return target if target in CONTRACTS else None
+    return None
+
+
+def _literal_locals(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, tuple[int, ...]]:
+    """Local name → literal array shape, from constructor assignments."""
+    shapes: dict[str, tuple[int, ...]] = {}
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            shape = _literal_shape(node.value)
+            if shape is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        shapes[target.id] = shape
+    return shapes
+
+
+def _resolve_shape(
+    node: ast.AST, known: Mapping[str, tuple[int, ...]]
+) -> tuple[int, ...] | None:
+    direct = _literal_shape(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Name):
+        return known.get(node.id)
+    return None
+
+
+def _callee_positional_params(info: FunctionInfo, call: ast.Call) -> list[str]:
+    """Parameter names that positional arguments of ``call`` bind to."""
+    params = info.params
+    if info.is_method and isinstance(call.func, ast.Attribute):
+        # obj.method(...) / self.method(...): ``self`` is the receiver.
+        params = params[1:]
+    return params
+
+
+def _spec_map(
+    project: Project,
+    graph: CallGraph,
+    summaries: Mapping[str, FunctionContract],
+    module: str,
+    site_index: Mapping[tuple[int, int], str],
+    call: ast.Call,
+) -> tuple[dict[str, ArraySpec], dict[str, int], str, list[str]] | None:
+    """The contract governing ``call``: specs, base env, origin, params.
+
+    Kernel contracts win over project summaries (they are the declared
+    ground truth; summaries are derived).
+    """
+    kernel_key = _resolve_kernel_contract(project, module, call)
+    if kernel_key is not None:
+        contract = CONTRACTS[kernel_key]
+        params = list(contract.inputs)
+        return dict(contract.inputs), {}, kernel_key, params
+    callee = site_index.get(
+        (getattr(call, "lineno", -1), getattr(call, "col_offset", -1))
+    )
+    if callee is None:
+        return None
+    summary = summaries.get(callee)
+    info = project.functions.get(callee)
+    if summary is None or info is None or not summary.inputs:
+        return None
+    params = _callee_positional_params(info, call)
+    return dict(summary.inputs), dict(summary.env), summary.origin, params
+
+
+def _iter_spec_args(
+    call: ast.Call, specs: Mapping[str, ArraySpec], params: list[str]
+) -> Iterator[tuple[str, ast.AST]]:
+    """(param name, argument node) pairs covered by the contract."""
+    for position, argument in enumerate(call.args):
+        if position >= len(params):
+            break
+        if params[position] in specs:
+            yield params[position], argument
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in specs:
+            yield keyword.arg, keyword.value
+
+
+def build_summaries(
+    project: Project, graph: CallGraph
+) -> dict[str, FunctionContract]:
+    """Fixpoint derivation of :class:`FunctionContract` summaries."""
+    summaries: dict[str, FunctionContract] = {}
+    for _ in range(_MAX_FIXPOINT_PASSES):
+        changed = False
+        for qualname, info in project.functions.items():
+            if qualname in CONTRACTS:
+                continue  # the kernel itself is the ground truth
+            derived = _summarize_function(project, graph, summaries, info)
+            previous = summaries.get(qualname)
+            if derived is None:
+                continue
+            if previous is None or previous.signature() != derived.signature():
+                summaries[qualname] = derived
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def _summarize_function(
+    project: Project,
+    graph: CallGraph,
+    summaries: Mapping[str, FunctionContract],
+    info: FunctionInfo,
+) -> FunctionContract | None:
+    params = set(info.params)
+    known = _literal_locals(info.node)
+    site_index = {
+        (site.line, site.col): site.callee
+        for site in graph.calls_in.get(info.qualname, [])
+        if site.kind == "function"
+    }
+    result = FunctionContract()
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = _spec_map(
+            project, graph, summaries, info.module, site_index, node
+        )
+        if resolved is None:
+            continue
+        specs, env, origin, callee_params = resolved
+        # Bind literal-shaped arguments first: they fix symbols (D=128)
+        # that the forwarded parameters then inherit.
+        call_env = dict(env)
+        forwarded: list[tuple[str, ArraySpec]] = []
+        for spec_name, argument in _iter_spec_args(node, specs, callee_params):
+            spec = specs[spec_name]
+            if not spec.is_symbolic_only():
+                continue
+            shape = _resolve_shape(argument, known)
+            if shape is not None:
+                try:
+                    bind_shape(spec, shape, call_env, spec_name)
+                except ContractError:
+                    continue  # the checking pass reports this site
+            elif isinstance(argument, ast.Name) and argument.id in params:
+                forwarded.append((argument.id, spec))
+        if not forwarded:
+            continue
+        if not result.origin:
+            result.origin = origin
+        for param, spec in forwarded:
+            result.inputs.setdefault(param, spec)
+        for symbol, value in call_env.items():
+            if result.env.get(symbol, value) == value:
+                result.env[symbol] = value
+            else:
+                del result.env[symbol]  # conflicting evidence: unknown
+    return result if result.inputs else None
+
+
+@register_rule
+class CrossFunctionContracts(ProjectRule):
+    """RPR202: literal shapes violating a *derived* function contract.
+
+    The interprocedural counterpart of RPR201: the contract at the
+    flagged call site was not declared there but inherited — possibly
+    through several wrapper layers — from a contracted ``repro.nn``
+    kernel the argument ultimately flows into.
+    """
+
+    code = "RPR202"
+    name = "cross-function-array-contract"
+    description = (
+        "call passing literal shapes that violate a contract derived "
+        "interprocedurally (parameter flows into a contracted kernel)"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        summaries = build_summaries(project, graph)
+        if not summaries:
+            return
+        for info in project.functions.values():
+            yield from self._check_function(project, graph, summaries, info)
+
+    def _check_function(
+        self,
+        project: Project,
+        graph: CallGraph,
+        summaries: Mapping[str, FunctionContract],
+        info: FunctionInfo,
+    ) -> Iterator[Finding]:
+        known = _literal_locals(info.node)
+        site_index = {
+            (site.line, site.col): site.callee
+            for site in graph.calls_in.get(info.qualname, [])
+            if site.kind == "function"
+        }
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = site_index.get(
+                (getattr(node, "lineno", -1), getattr(node, "col_offset", -1))
+            )
+            summary = summaries.get(callee) if callee is not None else None
+            callee_info = (
+                project.functions.get(callee) if callee is not None else None
+            )
+            if summary is None or callee_info is None:
+                continue  # direct kernel calls are RPR201's jurisdiction
+            params = _callee_positional_params(callee_info, node)
+            env = dict(summary.env)
+            for spec_name, argument in _iter_spec_args(
+                node, summary.inputs, params
+            ):
+                spec = summary.inputs[spec_name]
+                if not spec.is_symbolic_only():
+                    continue
+                shape = _resolve_shape(argument, known)
+                if shape is None:
+                    continue
+                try:
+                    bind_shape(
+                        spec, shape, env, f"{callee_info.name}({spec_name})"
+                    )
+                except ContractError as error:
+                    yield self.finding(
+                        info.context,
+                        node,
+                        f"cross-function contract violation (derived from "
+                        f"{summary.origin}): {error}",
+                    )
+                    break

@@ -1,0 +1,513 @@
+"""Determinism taint analysis (rules RPR301–RPR303).
+
+The reproduction's core promise is that scores are bit-identical
+across the train/serve boundary and across runs.  That promise dies
+quietly when a nondeterministic value — an unseeded RNG draw, a wall
+clock read, the iteration order of a hash-randomized ``set`` — flows
+into something that outlives the process: a persisted model artifact,
+an evaluation metric, or a served score.
+
+This pass is a classic source→sink taint analysis, interprocedural
+over the project call graph:
+
+* **Sources** — unseeded ``np.random.default_rng()`` / legacy
+  ``np.random.*`` / stdlib ``random`` draws (RPR301); ``time.time`` /
+  ``time.time_ns`` / ``datetime.now`` and friends (RPR302 — note
+  ``perf_counter``/``monotonic`` are *durations* and exempt); ``set``
+  construction and ``dict.keys()`` views, whose iteration order is
+  hash-dependent (RPR303).
+* **Sinks** — arguments to ``repro.core.persistence`` and
+  ``repro.eval.metrics`` functions, and values returned from the
+  serving layer (``repro.core.service``).
+* **Laundering** — ``sorted(...)`` clears order taint; order-
+  insensitive reductions (``len``/``min``/``max``/``sum``/``any``/
+  ``all``) and membership tests do too.  RNG taint is avoided at the
+  source by seeding (``default_rng(seed)`` is not a source).
+
+Function summaries record which taint kinds a function returns and
+which parameters flow to a sink or to the return value, so a
+``wrapper() -> time.time()`` result reaching ``save_model_bundle``
+two calls later is still flagged, at the call site where the tainted
+value finally meets the sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, Project
+from repro.analysis.engine import Finding, ProjectRule, register_rule
+from repro.analysis.rules import _LEGACY_RNG
+
+__all__ = [
+    "TaintSummary",
+    "UnseededRngToSink",
+    "WallClockToSink",
+    "UnorderedIterationToSink",
+]
+
+_KIND_CODES = {"rng": "RPR301", "time": "RPR302", "unordered": "RPR303"}
+_KIND_LABELS = {
+    "rng": "unseeded RNG value",
+    "time": "wall-clock value",
+    "unordered": "hash-order-dependent value (set/dict.keys iteration)",
+}
+
+# Modules whose *arguments* are sinks (persisted artifacts, metrics).
+_SINK_MODULES = ("repro.core.persistence", "repro.eval.metrics")
+# Modules whose *return values* are sinks (served scores).
+_RETURN_SINK_MODULES = ("repro.core.service",)
+
+_TIME_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_PY_RANDOM_PREFIX = "random."
+# Order-insensitive reductions: consuming a set through these cannot
+# leak iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"len", "sorted", "min", "max", "sum", "any", "all"}
+)
+
+_MAX_FIXPOINT_PASSES = 8
+
+
+@dataclass
+class TaintSummary:
+    """What one function does with taint, as seen by its callers."""
+
+    returns: set[str] = field(default_factory=set)
+    param_returns: set[str] = field(default_factory=set)
+    param_sinks: dict[str, str] = field(default_factory=dict)
+
+    def signature(self) -> tuple:
+        return (
+            tuple(sorted(self.returns)),
+            tuple(sorted(self.param_returns)),
+            tuple(sorted(self.param_sinks.items())),
+        )
+
+
+def _resolve_imported_target(
+    project: Project, module: str, call: ast.Call
+) -> str | None:
+    """Dotted target of a call through the module's import map.
+
+    Unlike the call graph this does not require the target to be part
+    of the analyzed project — stdlib and numpy targets resolve too.
+    """
+    imports = project.imports.get(module, {})
+    func = call.func
+    if isinstance(func, ast.Name):
+        return imports.get(func.id, f"{module}.{func.id}")
+    if isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        node: ast.AST = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = imports.get(node.id)
+        if head is None:
+            return None
+        return ".".join([head, *reversed(parts)])
+    return None
+
+
+def _source_kind(project: Project, module: str, call: ast.Call) -> str | None:
+    """Taint kind introduced by ``call`` itself, if any."""
+    target = _resolve_imported_target(project, module, call)
+    func = call.func
+    # Unseeded numpy Generator: default_rng() with no seed argument.
+    is_default_rng = (target is not None and target.endswith(".default_rng")) or (
+        isinstance(func, ast.Attribute) and func.attr == "default_rng"
+    )
+    if is_default_rng:
+        seeded = bool(call.args) or any(
+            kw.arg in (None, "seed") for kw in call.keywords
+        )
+        return None if seeded else "rng"
+    # Legacy numpy global-state draws.
+    if isinstance(func, ast.Attribute) and func.attr in _LEGACY_RNG:
+        if target is not None and ".random." in f".{target}":
+            return "rng"
+    if target is not None:
+        if target.startswith("numpy.random.") and target.rsplit(".", 1)[-1] in _LEGACY_RNG:
+            return "rng"
+        # Stdlib random module (unseeded module-level state).
+        if target.startswith(_PY_RANDOM_PREFIX) and not target.startswith(
+            "random.Random"
+        ):
+            tail = target[len(_PY_RANDOM_PREFIX) :]
+            if "." not in tail and tail[:1].islower():
+                return "rng"
+        if target in _TIME_SOURCES:
+            return "time"
+    # Hash-order sources: set construction and dict key views.
+    if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+        return "unordered"
+    if isinstance(func, ast.Attribute) and func.attr == "keys" and not call.args:
+        return "unordered"
+    return None
+
+
+def _sink_name(target: str | None) -> str | None:
+    """Sink label when ``target`` is a persistence/metrics function."""
+    if target is None:
+        return None
+    for module in _SINK_MODULES:
+        if target.startswith(module + "."):
+            return target
+    return None
+
+
+def _callee_positional_params(info: FunctionInfo, call: ast.Call) -> list[str]:
+    params = info.params
+    if info.is_method and isinstance(call.func, ast.Attribute):
+        params = params[1:]
+    return params
+
+
+def _iter_call_args(call: ast.Call) -> Iterator[tuple[int | str, ast.AST]]:
+    for position, argument in enumerate(call.args):
+        yield position, argument
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            yield keyword.arg, keyword.value
+
+
+class _FunctionTaint:
+    """Intra-function taint propagation for one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        graph: CallGraph,
+        summaries: Mapping[str, TaintSummary],
+        info: FunctionInfo,
+    ) -> None:
+        self.project = project
+        self.summaries = summaries
+        self.info = info
+        self.module = info.module
+        self.site_index = {
+            (site.line, site.col): site.callee
+            for site in graph.calls_in.get(info.qualname, [])
+            if site.kind == "function"
+        }
+        # Parameters carry symbolic markers so flows-to-return and
+        # flows-to-sink can be attributed back to the caller's argument.
+        self.taint: dict[str, set[str]] = {
+            param: {f"param:{param}"} for param in info.params
+        }
+        # Param→sink flows recorded by the finding scan (interprocedural
+        # summaries read this after iterating findings()).
+        self.param_sinks_found: dict[str, str] = {}
+
+    # -- expression taint ---------------------------------------------
+
+    def expr_taint(self, node: ast.AST) -> set[str]:
+        if isinstance(node, ast.Name):
+            return set(self.taint.get(node.id, ()))
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return self._children_taint(node) | {"unordered"}
+        if isinstance(node, ast.Compare):
+            # Membership/comparison results are order-insensitive.
+            return self._children_taint(node) - {"unordered"}
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return set()
+        return self._children_taint(node)
+
+    def _children_taint(self, node: ast.AST) -> set[str]:
+        kinds: set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            kinds |= self.expr_taint(child)
+        return kinds
+
+    def _call_taint(self, call: ast.Call) -> set[str]:
+        func = call.func
+        arg_taint: set[str] = set()
+        for _, argument in _iter_call_args(call):
+            arg_taint |= self.expr_taint(argument)
+        arg_taint |= self.expr_taint(func)
+        if isinstance(func, ast.Name) and func.id in _ORDER_INSENSITIVE:
+            arg_taint -= {"unordered"}
+            if func.id == "sorted":
+                return arg_taint
+        source = _source_kind(self.project, self.module, call)
+        if source is not None:
+            arg_taint = arg_taint | {source}
+        callee = self.site_index.get(
+            (getattr(call, "lineno", -1), getattr(call, "col_offset", -1))
+        )
+        summary = self.summaries.get(callee) if callee is not None else None
+        if summary is not None and callee is not None:
+            callee_info = self.project.functions[callee]
+            kinds = set(summary.returns)
+            params = _callee_positional_params(callee_info, call)
+            for key, argument in _iter_call_args(call):
+                param = (
+                    params[key]
+                    if isinstance(key, int) and key < len(params)
+                    else key
+                )
+                if param in summary.param_returns:
+                    kinds |= self.expr_taint(argument)
+            return kinds
+        return arg_taint
+
+    # -- statement-level propagation ----------------------------------
+
+    def propagate(self) -> None:
+        for _ in range(_MAX_FIXPOINT_PASSES):
+            changed = False
+            for node in ast.walk(self.info.node):
+                changed |= self._propagate_statement(node)
+            if not changed:
+                break
+
+    def _propagate_statement(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Assign):
+            kinds = self.expr_taint(node.value)
+            return self._taint_targets(node.targets, kinds)
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            kinds = self.expr_taint(node.value)
+            return self._taint_targets([node.target], kinds)
+        if isinstance(node, ast.AugAssign):
+            kinds = self.expr_taint(node.value) | self.expr_taint(node.target)
+            return self._taint_targets([node.target], kinds)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            kinds = self.expr_taint(node.iter)
+            return self._taint_targets([node.target], kinds)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp, ast.DictComp)):
+            changed = False
+            for generator in node.generators:
+                kinds = self.expr_taint(generator.iter)
+                changed |= self._taint_targets([generator.target], kinds)
+            return changed
+        return False
+
+    def _taint_targets(
+        self, targets: list[ast.AST] | list[ast.expr], kinds: set[str]
+    ) -> bool:
+        if not kinds:
+            return False
+        changed = False
+        for target in targets:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    existing = self.taint.setdefault(name_node.id, set())
+                    if not kinds <= existing:
+                        existing |= kinds
+                        changed = True
+        return changed
+
+    # -- summary + findings -------------------------------------------
+
+    def summarize(self) -> TaintSummary:
+        summary = TaintSummary()
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                kinds = self.expr_taint(node.value)
+                for kind in kinds:
+                    if kind.startswith("param:"):
+                        summary.param_returns.add(kind[len("param:") :])
+                    else:
+                        summary.returns.add(kind)
+        return summary
+
+    def findings(self) -> Iterator[tuple[str, int, int, str, str]]:
+        """(kind, line, col, sink label, flow) for concrete violations.
+
+        Also records param→sink flows into :attr:`param_sinks_found`
+        for the interprocedural fixpoint.
+        """
+        self.param_sinks_found = {}
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Call):
+                yield from self._check_sink_call(node)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if self.info.module.startswith(_RETURN_SINK_MODULES):
+                    kinds = self.expr_taint(node.value)
+                    for kind in sorted(kinds):
+                        if kind.startswith("param:"):
+                            self.param_sinks_found.setdefault(
+                                kind[len("param:") :],
+                                f"served value returned by {self.info.qualname}",
+                            )
+                        else:
+                            yield (
+                                kind,
+                                node.lineno,
+                                node.col_offset,
+                                f"served return of {self.info.name}()",
+                                "returned from the serving layer",
+                            )
+
+    def _check_sink_call(
+        self, call: ast.Call
+    ) -> Iterator[tuple[str, int, int, str, str]]:
+        target = _resolve_imported_target(self.project, self.module, call)
+        sink = _sink_name(target)
+        callee = self.site_index.get(
+            (getattr(call, "lineno", -1), getattr(call, "col_offset", -1))
+        )
+        summary = self.summaries.get(callee) if callee is not None else None
+        sinking_params: dict[int | str, str] = {}
+        if sink is not None:
+            for key, _ in _iter_call_args(call):
+                sinking_params[key] = sink
+        elif summary is not None and callee is not None and summary.param_sinks:
+            callee_info = self.project.functions[callee]
+            params = _callee_positional_params(callee_info, call)
+            for key, _ in _iter_call_args(call):
+                param = (
+                    params[key]
+                    if isinstance(key, int) and key < len(params)
+                    else key
+                )
+                if isinstance(param, str) and param in summary.param_sinks:
+                    sinking_params[key] = summary.param_sinks[param]
+        if not sinking_params:
+            return
+        for key, argument in _iter_call_args(call):
+            label = sinking_params.get(key)
+            if label is None:
+                continue
+            kinds = self.expr_taint(argument)
+            for kind in sorted(kinds):
+                if kind.startswith("param:"):
+                    self.param_sinks_found.setdefault(
+                        kind[len("param:") :], label
+                    )
+                else:
+                    yield (
+                        kind,
+                        call.lineno,
+                        call.col_offset,
+                        label,
+                        "passed into a persistence/metrics sink",
+                    )
+
+
+def _analyze_project(
+    project: Project, graph: CallGraph
+) -> list[tuple[str, Finding]]:
+    """All (code, finding) determinism violations for a project."""
+    summaries: dict[str, TaintSummary] = {}
+    analyses: dict[str, _FunctionTaint] = {}
+    for _ in range(_MAX_FIXPOINT_PASSES):
+        changed = False
+        for qualname, info in project.functions.items():
+            analysis = _FunctionTaint(project, graph, summaries, info)
+            analysis.propagate()
+            summary = analysis.summarize()
+            # Fold in param→sink flows discovered by the finding scan.
+            list(analysis.findings())
+            summary.param_sinks = dict(analysis.param_sinks_found)
+            analyses[qualname] = analysis
+            previous = summaries.get(qualname)
+            if previous is None or previous.signature() != summary.signature():
+                summaries[qualname] = summary
+                changed = True
+        if not changed:
+            break
+    results: list[tuple[str, Finding]] = []
+    for qualname, analysis in analyses.items():
+        for kind, line, col, sink, flow in analysis.findings():
+            code = _KIND_CODES.get(kind)
+            if code is None:
+                continue
+            message = (
+                f"{_KIND_LABELS[kind]} {flow} ({sink}); launder through an "
+                "explicit seed or sorted() before it escapes"
+            )
+            results.append(
+                (
+                    code,
+                    Finding(
+                        path=analysis.info.context.path,
+                        line=line,
+                        col=col,
+                        code=code,
+                        message=message,
+                    ),
+                )
+            )
+    return results
+
+
+# One analysis serves three registered codes; cache per project object.
+_CACHE: dict[int, tuple[Project, list[tuple[str, Finding]]]] = {}
+
+
+def _cached_analysis(
+    project: Project, graph: CallGraph
+) -> list[tuple[str, Finding]]:
+    cached = _CACHE.get(id(project))
+    if cached is not None and cached[0] is project:
+        return cached[1]
+    results = _analyze_project(project, graph)
+    _CACHE.clear()  # keep at most one project alive
+    _CACHE[id(project)] = (project, results)
+    return results
+
+
+class _DeterminismRule(ProjectRule):
+    """Shared driver; subclasses select one taint kind by code."""
+
+    scopes = frozenset({"src"})
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        for code, finding in _cached_analysis(project, graph):
+            if code == self.code:
+                yield finding
+
+
+@register_rule
+class UnseededRngToSink(_DeterminismRule):
+    """RPR301: unseeded randomness reaching a persisted/served value."""
+
+    code = "RPR301"
+    name = "unseeded-rng-to-sink"
+    description = (
+        "unseeded RNG draw flows into a persisted artifact, eval "
+        "metric, or served score (interprocedural taint)"
+    )
+
+
+@register_rule
+class WallClockToSink(_DeterminismRule):
+    """RPR302: wall-clock reads reaching a persisted/served value."""
+
+    code = "RPR302"
+    name = "wall-clock-to-sink"
+    description = (
+        "time.time/datetime.now value flows into a persisted artifact, "
+        "eval metric, or served score (perf_counter durations exempt)"
+    )
+
+
+@register_rule
+class UnorderedIterationToSink(_DeterminismRule):
+    """RPR303: hash-order-dependent iteration reaching a sink."""
+
+    code = "RPR303"
+    name = "unordered-iteration-to-sink"
+    description = (
+        "set/dict.keys iteration order flows into a persisted artifact, "
+        "eval metric, or served score; sorted() launders"
+    )

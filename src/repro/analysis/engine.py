@@ -7,6 +7,15 @@ engine parses each file once, classifies its scope, runs every
 selected rule whose scope matches, and filters findings through the
 ``# repro: noqa[RPRxxx]`` suppressions found on the flagged lines.
 
+Two rule families share the registry:
+
+* :class:`Rule` — per-file: sees one :class:`FileContext` at a time.
+* :class:`ProjectRule` — interprocedural: sees the whole parsed
+  project (symbol tables + call graph from
+  :mod:`repro.analysis.callgraph`) and emits findings attributed to
+  individual files.  Suppressions and scope filtering apply exactly
+  as for per-file rules, keyed by the file each finding lands in.
+
 Scopes
 ------
 ``src``
@@ -15,20 +24,24 @@ Scopes
     cosine reimplementations, ``assert``) run here only.
 ``test``
     Anything under a ``tests``/``benchmarks``/``examples`` directory,
-    ``conftest.py``, or a ``test_*.py`` file.
+    any ``conftest.py``, and ``test_*.py`` files *outside* a ``src``
+    tree — a production module named ``test_harness.py`` under
+    ``src/`` must not silently opt out of src-only rules.
 
 Suppressions
 ------------
 A finding on line *N* is suppressed when line *N* carries a comment of
 the form ``# repro: noqa[RPR105]`` (several codes may be listed,
-comma-separated).  Text after the closing bracket is the
-justification; the project convention is that every suppression
-carries one::
+comma-separated; case-insensitive — codes normalize to uppercase).
+Text after the closing bracket is the justification; the project
+convention is that every suppression carries one::
 
     return float(a @ b / denom)  # repro: noqa[RPR101] sparse-space oracle
 
 Suppressions that never fire are themselves reported (code RPR100) so
-stale exemptions cannot accumulate silently.
+stale exemptions cannot accumulate silently; a code that does not even
+look like ``RPRnnn`` is reported as RPR100 *malformed* rather than
+silently dropped.
 """
 
 from __future__ import annotations
@@ -40,16 +53,22 @@ import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: callgraph imports FileContext
+    from repro.analysis.callgraph import CallGraph, Project
 
 __all__ = [
     "Finding",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register_rule",
     "all_rules",
     "rules_by_code",
     "scope_for_path",
     "parse_suppressions",
+    "scan_suppressions",
     "analyze_source",
     "analyze_paths",
     "iter_python_files",
@@ -60,7 +79,7 @@ UNUSED_SUPPRESSION_CODE = "RPR100"
 
 _TEST_DIRS = frozenset({"tests", "benchmarks", "examples"})
 _NOQA_PATTERN = re.compile(
-    r"#\s*repro:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]", re.IGNORECASE
+    r"#\s*repro:\s*noqa\[(?P<codes>[^\]]*)\]", re.IGNORECASE
 )
 _CODE_PATTERN = re.compile(r"^RPR\d{3}$")
 
@@ -104,7 +123,7 @@ class FileContext:
 
 
 class Rule:
-    """Base class for analysis rules.
+    """Base class for per-file analysis rules.
 
     Subclasses set ``code``/``name``/``description``/``scopes`` and
     implement :meth:`check`.  Registration happens via
@@ -129,6 +148,31 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             code=self.code,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-project (interprocedural) rules.
+
+    ``check_project`` sees the full symbol table and call graph and
+    yields findings attributed to individual files; the engine then
+    drops findings landing in files whose scope the rule does not
+    cover, and routes the survivors through that file's suppressions.
+    """
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, col=col, code=self.code, message=message
         )
 
 
@@ -172,22 +216,44 @@ def rules_by_code(select: Iterable[str] | None = None) -> list[Rule]:
 def _ensure_rules_loaded() -> None:
     # Importing the rule modules populates the registry; local import
     # breaks the engine <-> rules cycle.
-    from repro.analysis import rules, static_shapes  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        dataflow,
+        determinism,
+        locks,
+        rules,
+        static_shapes,
+    )
 
 
 def scope_for_path(path: str | Path) -> str:
-    """Classify a file as production (``src``) or test-ish (``test``)."""
+    """Classify a file as production (``src``) or test-ish (``test``).
+
+    Directory membership (``tests``/``benchmarks``/``examples``)
+    always classifies as test; the ``test_*.py`` filename heuristic
+    applies only *outside* a ``src`` tree, so a production module named
+    ``test_harness.py`` cannot opt out of src-only rules by name.
+    ``conftest.py`` is pytest plumbing wherever it lives.
+    """
     parts = Path(path).parts
     name = Path(path).name
     if any(part in _TEST_DIRS for part in parts):
         return "test"
-    if name.startswith("test_") or name == "conftest.py":
+    if name == "conftest.py":
+        return "test"
+    if "src" not in parts and name.startswith("test_"):
         return "test"
     return "src"
 
 
-def parse_suppressions(source: str) -> dict[int, set[str]]:
-    """Map line number → set of suppressed codes for ``source``.
+def scan_suppressions(
+    source: str,
+) -> tuple[dict[int, set[str]], list[tuple[int, int, str]]]:
+    """Parse ``# repro: noqa[...]`` comments in ``source``.
+
+    Returns ``(suppressions, malformed)``: a map of target line number
+    → set of (uppercased) valid codes, and a list of ``(line, col,
+    text)`` records for listed codes that do not match ``RPRnnn`` —
+    those are reported as RPR100 instead of being silently dropped.
 
     Only real ``#`` comments count — a noqa spelled inside a string or
     docstring (e.g. documentation examples) suppresses nothing.  An
@@ -196,6 +262,7 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
     expressions too long to carry the justification inline).
     """
     suppressions: dict[int, set[str]] = {}
+    malformed: list[tuple[int, int, str]] = []
     source_lines = source.splitlines()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -207,23 +274,139 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
     except (tokenize.TokenError, SyntaxError):
         # Unparseable tail; fall back to no suppressions (the analyzer
         # reports the syntax error separately).
-        return suppressions
+        return suppressions, malformed
     for line_number, column, comment in comments:
         match = _NOQA_PATTERN.search(comment)
         if match is None:
             continue
-        codes = {
-            code.strip().upper()
-            for code in match.group("codes").split(",")
-            if code.strip()
-        }
+        codes: set[str] = set()
+        for raw_code in match.group("codes").split(","):
+            code = raw_code.strip().upper()
+            if not code:
+                continue
+            if _CODE_PATTERN.match(code):
+                codes.add(code)
+            else:
+                malformed.append((line_number, column, raw_code.strip()))
         if not codes:
             continue
         line = source_lines[line_number - 1]
         standalone = not line[:column].strip()
         target = line_number + 1 if standalone else line_number
         suppressions.setdefault(target, set()).update(codes)
-    return suppressions
+    return suppressions, malformed
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number → set of suppressed codes for ``source``."""
+    return scan_suppressions(source)[0]
+
+
+def _syntax_error_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=error.lineno or 1,
+        col=(error.offset or 1) - 1,
+        code="RPR999",
+        message=f"syntax error: {error.msg}",
+    )
+
+
+def _run_file_rules(
+    context: FileContext, rules: Sequence[Rule]
+) -> list[Finding]:
+    raw: list[Finding] = []
+    for rule in rules:
+        if context.scope not in rule.scopes:
+            continue
+        raw.extend(rule.check(context))
+    return raw
+
+
+def _run_project_rules(
+    contexts: Sequence[FileContext], rules: Sequence[ProjectRule]
+) -> list[Finding]:
+    """Run interprocedural rules once over the parsed project.
+
+    Each finding is kept only when the rule's scope covers the file
+    the finding lands in (looked up from the parsed contexts).
+    """
+    if not rules or not contexts:
+        return []
+    from repro.analysis.callgraph import build_project
+
+    project, graph = build_project(contexts)
+    scope_by_path = {context.path: context.scope for context in contexts}
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project, graph):
+            scope = scope_by_path.get(finding.path)
+            if scope is not None and scope in rule.scopes:
+                findings.append(finding)
+    return findings
+
+
+def _apply_suppressions(
+    context: FileContext,
+    raw: Sequence[Finding],
+    checked_codes: set[str],
+    report_unused_suppressions: bool,
+) -> list[Finding]:
+    """Filter ``raw`` through the file's noqa comments.
+
+    Emits RPR100 for stale suppressions (when
+    ``report_unused_suppressions``) and, unconditionally, for
+    malformed suppression codes — a typo'd code is an error now, not
+    a preference.
+    """
+    suppressions, malformed = scan_suppressions(context.source)
+    used: dict[int, set[str]] = {}
+    survivors: list[Finding] = []
+    for finding in raw:
+        allowed = suppressions.get(finding.line, set())
+        if finding.code in allowed:
+            used.setdefault(finding.line, set()).add(finding.code)
+        else:
+            survivors.append(finding)
+    if report_unused_suppressions:
+        for line_number, codes in sorted(suppressions.items()):
+            for code in sorted(codes):
+                if code in used.get(line_number, set()):
+                    continue
+                if code not in checked_codes:
+                    # The rule didn't run (deselected or out of scope);
+                    # the suppression may be live under a full run.
+                    continue
+                survivors.append(
+                    Finding(
+                        path=context.path,
+                        line=line_number,
+                        col=0,
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"unused suppression: no {code} finding on this "
+                            "line (remove the stale noqa)"
+                        ),
+                    )
+                )
+    for line_number, column, text in malformed:
+        survivors.append(
+            Finding(
+                path=context.path,
+                line=line_number,
+                col=column,
+                code=UNUSED_SUPPRESSION_CODE,
+                message=(
+                    f"malformed suppression code {text!r}: codes must "
+                    "match RPRnnn (e.g. RPR101)"
+                ),
+            )
+        )
+    return survivors
+
+
+def _checked_codes(rules: Sequence[Rule], scope: str) -> set[str]:
+    return {rule.code for rule in rules if scope in rule.scopes}
 
 
 def analyze_source(
@@ -238,6 +421,10 @@ def analyze_source(
     Returns surviving findings sorted by location.  A syntax error
     becomes a single ``RPR999`` finding rather than an exception, so
     one unparseable file cannot abort a repository sweep.
+
+    Interprocedural rules run too, over a single-file project — cross-
+    function flows *within* the file are visible, cross-file flows are
+    not (use :func:`analyze_paths` for whole-project analysis).
     """
     if rules is None:
         rules = all_rules()
@@ -246,15 +433,7 @@ def analyze_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                col=(error.offset or 1) - 1,
-                code="RPR999",
-                message=f"syntax error: {error.msg}",
-            )
-        ]
+        return [_syntax_error_finding(path, error)]
     context = FileContext(
         path=path,
         source=source,
@@ -262,66 +441,97 @@ def analyze_source(
         scope=scope,
         lines=source.splitlines(),
     )
-    raw: list[Finding] = []
-    for rule in rules:
-        if scope not in rule.scopes:
-            continue
-        raw.extend(rule.check(context))
-
-    suppressions = parse_suppressions(source)
-    used: dict[int, set[str]] = {}
-    survivors: list[Finding] = []
-    for finding in raw:
-        allowed = suppressions.get(finding.line, set())
-        if finding.code in allowed:
-            used.setdefault(finding.line, set()).add(finding.code)
-        else:
-            survivors.append(finding)
-    if report_unused_suppressions:
-        checked_codes = {rule.code for rule in rules if scope in rule.scopes}
-        for line_number, codes in sorted(suppressions.items()):
-            for code in sorted(codes):
-                if code in used.get(line_number, set()):
-                    continue
-                if code not in checked_codes:
-                    # The rule didn't run (deselected or out of scope);
-                    # the suppression may be live under a full run.
-                    continue
-                survivors.append(
-                    Finding(
-                        path=path,
-                        line=line_number,
-                        col=0,
-                        code=UNUSED_SUPPRESSION_CODE,
-                        message=(
-                            f"unused suppression: no {code} finding on this "
-                            "line (remove the stale noqa)"
-                        ),
-                    )
-                )
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    raw = _run_file_rules(context, file_rules)
+    raw.extend(_run_project_rules([context], project_rules))
+    survivors = _apply_suppressions(
+        context, raw, _checked_codes(rules, scope), report_unused_suppressions
+    )
     return sorted(survivors)
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
     """Yield ``*.py`` files under ``paths`` (files or directories).
 
-    Hidden directories and ``__pycache__`` are skipped.  A path that
-    does not exist raises ``FileNotFoundError`` — the CLI maps it to a
-    usage error.
+    Hidden directories and ``__pycache__`` are skipped.  Overlapping
+    arguments (``analyze src src/repro``) are deduplicated by resolved
+    path — each file is yielded at most once, under the first argument
+    that covers it.  A path that does not exist raises
+    ``FileNotFoundError`` — the CLI maps it to a usage error.
     """
+    seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if not path.exists():
             raise FileNotFoundError(str(path))
         if path.is_file():
-            if path.suffix == ".py":
+            if path.suffix == ".py" and path.resolve() not in seen:
+                seen.add(path.resolve())
                 yield path
             continue
         for candidate in sorted(path.rglob("*.py")):
             parts = candidate.parts
             if any(part == "__pycache__" or part.startswith(".") for part in parts):
                 continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
             yield candidate
+
+
+def analyze_files(
+    files: Sequence[Path],
+    rules: Sequence[Rule] | None = None,
+    report_unused_suppressions: bool = True,
+) -> list[Finding]:
+    """Analyze pre-collected files as one project; sorted findings.
+
+    Per-file rules run on each file; interprocedural rules run once
+    over every file that parsed (so contracts, taint, and lock
+    requirements propagate across modules).
+    """
+    if rules is None:
+        rules = all_rules()
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    raw_by_path: dict[str, list[Finding]] = {}
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        path = str(file_path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            findings.append(_syntax_error_finding(path, error))
+            continue
+        context = FileContext(
+            path=path,
+            source=source,
+            tree=tree,
+            scope=scope_for_path(path),
+            lines=source.splitlines(),
+        )
+        contexts.append(context)
+        raw_by_path[path] = _run_file_rules(context, file_rules)
+
+    for finding in _run_project_rules(contexts, project_rules):
+        raw_by_path.setdefault(finding.path, []).append(finding)
+
+    for context in contexts:
+        checked = _checked_codes(rules, context.scope)
+        findings.extend(
+            _apply_suppressions(
+                context,
+                raw_by_path.get(context.path, []),
+                checked,
+                report_unused_suppressions,
+            )
+        )
+    return sorted(findings)
 
 
 def analyze_paths(
@@ -331,15 +541,8 @@ def analyze_paths(
 ) -> list[Finding]:
     """Analyze every Python file under ``paths``; sorted findings."""
     rules = rules_by_code(select)
-    findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(
-            analyze_source(
-                source,
-                str(file_path),
-                rules=rules,
-                report_unused_suppressions=report_unused_suppressions,
-            )
-        )
-    return sorted(findings)
+    return analyze_files(
+        list(iter_python_files(paths)),
+        rules=rules,
+        report_unused_suppressions=report_unused_suppressions,
+    )

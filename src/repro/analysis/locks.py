@@ -1,0 +1,438 @@
+"""Lock-discipline checking (rules RPR401–RPR403).
+
+The serving layer mutates shared state (`EventIndex` swap-with-last
+compaction, `VectorCache` LRU reordering, the metrics registry) under
+``threading.RLock``.  The discipline is declared in the source with a
+comment on the attribute's initializing assignment::
+
+    self._rows: dict[str, int] = {}  # guarded-by: _lock
+
+and this pass enforces it, RacerD-style, over the project call graph:
+
+* **RPR401** — a guarded attribute is read or written outside a
+  ``with self._lock:`` block, either in a public method of the owning
+  class or externally through a reference whose class is statically
+  known (``def poke(index: EventIndex): index._rows[...] = ...``).
+* **RPR402** — a *private* method may access guarded attributes
+  lock-free (it documents itself as lock-required, and the requirement
+  propagates transitively through private callees); what is flagged is
+  any call site that invokes such a method without holding the lock.
+* **RPR403** — a ``# guarded-by:`` annotation naming a lock attribute
+  that is never assigned anywhere in the class (a typo'd lock name
+  would otherwise silently guard nothing).
+
+``__init__``/``__post_init__`` are exempt: construction happens-before
+publication.  ``# repro: noqa[RPR401]`` suppressions work as for every
+other rule.  Anything dynamically typed stays invisible — silence, not
+false alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    Project,
+    local_class_types,
+)
+from repro.analysis.engine import Finding, ProjectRule, register_rule
+
+__all__ = [
+    "GuardedClass",
+    "collect_guarded_classes",
+    "UnlockedGuardedAccess",
+    "UnlockedLockRequiredCall",
+    "UnknownGuardLock",
+]
+
+_GUARDED_PATTERN = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_]\w*)")
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+_MAX_FIXPOINT_PASSES = 10
+
+Held = frozenset  # of (base name, lock attribute) pairs
+
+
+@dataclass
+class GuardedClass:
+    """Guard declarations of one class: attr → lock attribute name."""
+
+    info: ClassInfo
+    guarded: dict[str, str] = field(default_factory=dict)
+    annotations: list[tuple[str, str, int, int]] = field(default_factory=list)
+    assigned_attrs: set[str] = field(default_factory=set)
+
+
+def _self_attr_target(node: ast.AST) -> str | None:
+    """Attribute name when ``node`` is ``self.<attr>`` (any context)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def collect_guarded_classes(project: Project) -> dict[str, GuardedClass]:
+    """``# guarded-by:`` declarations for every project class."""
+    guarded_classes: dict[str, GuardedClass] = {}
+    for qualname, cls in project.classes.items():
+        record = GuardedClass(info=cls)
+        lines = cls.context.lines
+        for node in ast.walk(cls.node):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = _self_attr_target(target)
+                if attr is None:
+                    if isinstance(target, ast.Name):
+                        record.assigned_attrs.add(target.id)
+                    continue
+                record.assigned_attrs.add(attr)
+                line_number = getattr(node, "lineno", 0)
+                if not 1 <= line_number <= len(lines):
+                    continue
+                match = _GUARDED_PATTERN.search(lines[line_number - 1])
+                if match is None:
+                    continue
+                lock = match.group("lock")
+                record.guarded[attr] = lock
+                record.annotations.append(
+                    (attr, lock, line_number, getattr(node, "col_offset", 0))
+                )
+        if record.guarded:
+            guarded_classes[qualname] = record
+    return guarded_classes
+
+
+def _is_private_method(info: FunctionInfo) -> bool:
+    """Lock-requiring candidates: ``_helper`` but not ``__dunder__``."""
+    return (
+        info.is_method
+        and info.name.startswith("_")
+        and not info.name.startswith("__")
+    )
+
+
+@dataclass
+class _Access:
+    """One guarded-attribute touch outside its lock."""
+
+    node: ast.AST
+    base: str
+    attr: str
+    lock: str
+
+
+@dataclass
+class _CallRecord:
+    """One resolved call site with the locks held around it."""
+
+    node: ast.Call
+    callee: str
+    base: str | None
+    held: Held
+
+
+@dataclass
+class _FunctionScan:
+    info: FunctionInfo
+    accesses: list[_Access] = field(default_factory=list)
+    calls: list[_CallRecord] = field(default_factory=list)
+
+
+def _with_item_locks(item: ast.withitem) -> tuple[str, str] | None:
+    """``with <base>.<attr>:`` as a (base, lock attribute) pair."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        return expr.value.id, expr.attr
+    return None
+
+
+class _Scanner:
+    """Walk one function body tracking the set of held locks."""
+
+    def __init__(
+        self,
+        project: Project,
+        graph: CallGraph,
+        guarded_classes: dict[str, GuardedClass],
+        info: FunctionInfo,
+    ) -> None:
+        self.scan = _FunctionScan(info=info)
+        self.site_index = {
+            (site.line, site.col): site.callee
+            for site in graph.calls_in.get(info.qualname, [])
+            if site.kind == "function"
+        }
+        # base name → guard table of the class it is known to hold.
+        self.bases: dict[str, GuardedClass] = {}
+        if info.class_name is not None:
+            own = guarded_classes.get(f"{info.module}.{info.class_name}")
+            if own is not None:
+                self.bases["self"] = own
+        for name, cls in local_class_types(
+            info.node, info.module, project
+        ).items():
+            record = guarded_classes.get(cls.qualname)
+            if record is not None:
+                self.bases[name] = record
+
+    def run(self) -> _FunctionScan:
+        for statement in self.scan.info.node.body:
+            self._visit(statement, frozenset())
+        return self.scan
+
+    def _visit(self, node: ast.AST, held: Held) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: set[tuple[str, str]] = set()
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                pair = _with_item_locks(item)
+                if pair is not None:
+                    acquired.add(pair)
+            inner: Held = held | acquired
+            for statement in node.body:
+                self._visit(statement, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs execute later, under unknown locks
+        if isinstance(node, ast.Call):
+            self._record_call(node, held)
+        elif isinstance(node, ast.Attribute):
+            self._record_access(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _record_call(self, node: ast.Call, held: Held) -> None:
+        callee = self.site_index.get(
+            (getattr(node, "lineno", -1), getattr(node, "col_offset", -1))
+        )
+        if callee is None:
+            return
+        base: str | None = None
+        if isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            base = node.func.value.id
+        self.scan.calls.append(
+            _CallRecord(node=node, callee=callee, base=base, held=held)
+        )
+
+    def _record_access(self, node: ast.Attribute, held: Held) -> None:
+        if not isinstance(node.value, ast.Name):
+            return
+        base = node.value.id
+        record = self.bases.get(base)
+        if record is None:
+            return
+        lock = record.guarded.get(node.attr)
+        if lock is None or (base, lock) in held:
+            return
+        self.scan.accesses.append(
+            _Access(node=node, base=base, attr=node.attr, lock=lock)
+        )
+
+
+def _analyze_project(
+    project: Project, graph: CallGraph
+) -> list[tuple[str, Finding]]:
+    """All (code, finding) lock-discipline violations for a project."""
+    guarded_classes = collect_guarded_classes(project)
+    results: list[tuple[str, Finding]] = []
+
+    # RPR403: annotations naming a lock attribute the class never has.
+    for record in guarded_classes.values():
+        for attr, lock, line, col in record.annotations:
+            if lock not in record.assigned_attrs:
+                results.append(
+                    (
+                        "RPR403",
+                        Finding(
+                            path=record.info.context.path,
+                            line=line,
+                            col=col,
+                            code="RPR403",
+                            message=(
+                                f"guarded-by on '{attr}' names unknown lock "
+                                f"attribute '{lock}': never assigned in "
+                                f"class {record.info.name}"
+                            ),
+                        ),
+                    )
+                )
+    if not guarded_classes:
+        return results
+
+    scans: dict[str, _FunctionScan] = {}
+    for qualname, info in project.functions.items():
+        if info.name in _CONSTRUCTORS:
+            continue  # construction happens-before publication
+        scan = _Scanner(project, graph, guarded_classes, info).run()
+        if scan.accesses or scan.calls:
+            scans[qualname] = scan
+
+    # Private methods accessing guarded state lock-free *require* the
+    # lock instead of violating it; the requirement propagates through
+    # private self-call chains to a fixpoint.
+    requires: dict[str, set[str]] = {}
+    for qualname, scan in scans.items():
+        if _is_private_method(scan.info):
+            needed = {
+                access.lock
+                for access in scan.accesses
+                if access.base == "self"
+            }
+            if needed:
+                requires[qualname] = needed
+    for _ in range(_MAX_FIXPOINT_PASSES):
+        changed = False
+        for qualname, scan in scans.items():
+            if not _is_private_method(scan.info):
+                continue
+            for call in scan.calls:
+                if call.base != "self" or call.callee not in requires:
+                    continue
+                missing = {
+                    lock
+                    for lock in requires[call.callee]
+                    if ("self", lock) not in call.held
+                }
+                current = requires.setdefault(qualname, set())
+                if not missing <= current:
+                    current |= missing
+                    changed = True
+        if not changed:
+            break
+
+    for qualname, scan in scans.items():
+        info = scan.info
+        private = _is_private_method(info)
+        # RPR401: unlocked guarded access anywhere it is a violation —
+        # public methods of the owner, and all external references.
+        for access in scan.accesses:
+            if private and access.base == "self":
+                continue  # folded into the method's lock requirement
+            results.append(
+                (
+                    "RPR401",
+                    (
+                        Finding(
+                            path=info.context.path,
+                            line=getattr(access.node, "lineno", 1),
+                            col=getattr(access.node, "col_offset", 0),
+                            code="RPR401",
+                            message=(
+                                f"guarded attribute '{access.attr}' "
+                                f"(guarded-by: {access.lock}) accessed "
+                                f"outside 'with "
+                                f"{access.base}.{access.lock}:'"
+                            ),
+                        )
+                    ),
+                )
+            )
+        # RPR402: calling a lock-requiring helper without the lock.
+        for call in scan.calls:
+            needed = requires.get(call.callee)
+            if not needed or call.base is None:
+                continue
+            if private and call.base == "self":
+                continue  # propagated into this method's requirement
+            for lock in sorted(needed):
+                if (call.base, lock) in call.held:
+                    continue
+                callee_name = call.callee.rsplit(".", 1)[-1]
+                results.append(
+                    (
+                        "RPR402",
+                        Finding(
+                            path=info.context.path,
+                            line=getattr(call.node, "lineno", 1),
+                            col=getattr(call.node, "col_offset", 0),
+                            code="RPR402",
+                            message=(
+                                f"call to lock-requiring helper "
+                                f"{callee_name}() without holding "
+                                f"'{lock}'; wrap in 'with "
+                                f"{call.base}.{lock}:'"
+                            ),
+                        ),
+                    )
+                )
+    return results
+
+
+# One analysis serves three registered codes; cache per project object.
+_CACHE: dict[int, tuple[Project, list[tuple[str, Finding]]]] = {}
+
+
+def _cached_analysis(
+    project: Project, graph: CallGraph
+) -> list[tuple[str, Finding]]:
+    cached = _CACHE.get(id(project))
+    if cached is not None and cached[0] is project:
+        return cached[1]
+    results = _analyze_project(project, graph)
+    _CACHE.clear()  # keep at most one project alive
+    _CACHE[id(project)] = (project, results)
+    return results
+
+
+class _LockRule(ProjectRule):
+    """Shared driver; subclasses select one code."""
+
+    scopes = frozenset({"src"})
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        for code, finding in _cached_analysis(project, graph):
+            if code == self.code:
+                yield finding
+
+
+@register_rule
+class UnlockedGuardedAccess(_LockRule):
+    """RPR401: guarded attribute touched outside its lock."""
+
+    code = "RPR401"
+    name = "unlocked-guarded-access"
+    description = (
+        "read/write of a '# guarded-by:' attribute outside a 'with "
+        "<base>.<lock>:' block (public methods and external references)"
+    )
+
+
+@register_rule
+class UnlockedLockRequiredCall(_LockRule):
+    """RPR402: lock-requiring private helper called without the lock."""
+
+    code = "RPR402"
+    name = "unlocked-lock-required-call"
+    description = (
+        "call to a private method that accesses guarded attributes "
+        "lock-free, from a context not holding the lock (propagated "
+        "transitively over the call graph)"
+    )
+
+
+@register_rule
+class UnknownGuardLock(_LockRule):
+    """RPR403: guarded-by annotation naming a nonexistent lock."""
+
+    code = "RPR403"
+    name = "unknown-guard-lock"
+    description = (
+        "'# guarded-by:' annotation names a lock attribute never "
+        "assigned in the class"
+    )

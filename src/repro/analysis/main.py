@@ -17,11 +17,11 @@ from typing import IO
 
 from repro.analysis.engine import (
     all_rules,
-    analyze_source,
+    analyze_files,
     iter_python_files,
     rules_by_code,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = ["main", "build_parser", "run", "render_rule_list"]
 
@@ -42,7 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -97,20 +97,19 @@ def run(
     except FileNotFoundError as error:
         print(f"error: no such path: {error}", file=sys.stderr)
         return 2
-    findings = []
-    for file_path in files:
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(
-            analyze_source(
-                source,
-                str(file_path),
-                rules=rules,
-                report_unused_suppressions=report_unused_suppressions,
-            )
-        )
-    findings.sort()
-    renderer = render_json if output_format == "json" else render_text
-    stream.write(renderer(findings, files_scanned=len(files)))
+    # One whole-project pass: interprocedural rules (RPR202, RPR30x,
+    # RPR40x) see cross-file flows that per-file analysis cannot.
+    findings = analyze_files(
+        files,
+        rules=rules,
+        report_unused_suppressions=report_unused_suppressions,
+    )
+    renderers = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }
+    stream.write(renderers[output_format](findings, files_scanned=len(files)))
     return 1 if findings else 0
 
 

@@ -1,6 +1,7 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF.
 
-Both render the same :class:`~repro.analysis.engine.Finding` records.
+All render the same :class:`~repro.analysis.engine.Finding` records.
+SARIF 2.1.0 output is what CI uploads so findings annotate PR diffs.
 The JSON document has a versioned schema so CI consumers can parse it
 without guessing::
 
@@ -22,9 +23,20 @@ from collections.abc import Sequence
 
 from repro.analysis.engine import Finding
 
-__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+]
 
 JSON_SCHEMA_VERSION = "repro.analysis/v1"
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(
@@ -63,5 +75,70 @@ def render_json(
             "by_code": dict(sorted(by_code.items())),
         },
         "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(
+    findings: Sequence[Finding], files_scanned: int | None = None
+) -> str:
+    """SARIF 2.1.0 log, one run, one result per finding.
+
+    Rule metadata comes from the live registry so descriptions stay in
+    one place; ``files_scanned`` only affects the (optional) invocation
+    property bag.
+    """
+    from repro.analysis.engine import all_rules
+
+    descriptions = {
+        rule.code: (rule.name, rule.description) for rule in all_rules()
+    }
+    seen_codes = sorted({finding.code for finding in findings})
+    rules = []
+    for code in seen_codes:
+        name, description = descriptions.get(code, (code.lower(), ""))
+        rules.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": description or name},
+            }
+        )
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules,
+                    }
+                },
+                "properties": {"filesScanned": files_scanned},
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"

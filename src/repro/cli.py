@@ -148,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to scan (default: src)",
     )
     analyze.add_argument(
-        "--format", choices=("text", "json"), default="text"
+        "--format", choices=("text", "json", "sarif"), default="text"
     )
     analyze.add_argument(
         "--select", default=None, metavar="CODES",

@@ -454,27 +454,31 @@ class RepresentationService:
         top_k: int | None,
         verify_versions: bool,
     ) -> tuple[list[ScoredEvent], int]:
-        """One matrix-vector product + argpartition top-K."""
+        """One matrix-vector product + argpartition top-K.
+
+        Row resolution, activity filtering and the GEMV run atomically
+        inside :meth:`EventIndex.score_ids` — under concurrent index
+        mutation, rows resolved separately could move (swap-with-last
+        compaction) before the product ran.
+        """
         self._ensure_indexed(events, verify_versions)
         if not events:
             return [], 0
-        rows = self.index.rows_for(event.event_id for event in events)
-        positions = np.arange(len(events))
-        if at_time is not None:
-            active = np.flatnonzero(self.index.activity_mask(at_time, rows))
-            rows = rows[active]
-            positions = positions[active]
-        if rows.size == 0:
-            return [], 0
-        scores = self.index.scores(self.user_vector(user), rows)
         ids = np.fromiter(
-            (events[p].event_id for p in positions), dtype=np.int64
+            (event.event_id for event in events),
+            dtype=np.int64,
+            count=len(events),
         )
-        order = top_k_order(scores, ids, top_k)
+        positions, scores = self.index.score_ids(
+            self.user_vector(user), ids, at_time
+        )
+        if positions.size == 0:
+            return [], 0
+        order = top_k_order(scores, ids[positions], top_k)
         return [
             ScoredEvent(event=events[positions[i]], score=float(scores[i]))
             for i in order
-        ], int(rows.size)
+        ], int(positions.size)
 
     def rank_events_batch(
         self,
@@ -523,22 +527,22 @@ class RepresentationService:
         self._ensure_indexed(events, verify_versions)
         if not events:
             return [[] for _ in users]
-        rows = self.index.rows_for(event.event_id for event in events)
-        positions = np.arange(len(events))
-        if at_time is not None:
-            active = np.flatnonzero(self.index.activity_mask(at_time, rows))
-            rows = rows[active]
-            positions = positions[active]
-        if rows.size == 0:
-            return [[] for _ in users]
-        queries = self._user_matrix(users)
-        score_matrix = self.index.scores_batch(queries, rows)
         ids = np.fromiter(
-            (events[p].event_id for p in positions), dtype=np.int64
+            (event.event_id for event in events),
+            dtype=np.int64,
+            count=len(events),
         )
+        queries = self._user_matrix(users)
+        # Atomic compound read: see _rank_events_indexed.
+        positions, score_matrix = self.index.score_ids_batch(
+            queries, ids, at_time
+        )
+        if positions.size == 0:
+            return [[] for _ in users]
+        selected_ids = ids[positions]
         results: list[list[ScoredEvent]] = []
         for scores in score_matrix:
-            order = top_k_order(scores, ids, top_k)
+            order = top_k_order(scores, selected_ids, top_k)
             results.append(
                 [
                     ScoredEvent(

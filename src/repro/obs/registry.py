@@ -270,27 +270,38 @@ class _Family(Generic[I]):
 
 
 class MetricsRegistry:
-    """Mutable registry of metric families, safe for one process.
+    """Mutable registry of metric families, safe across threads.
 
     ``collectors`` are pull-style callbacks run at :meth:`snapshot`
     time — the idiom for exporting state another object already tracks
     (cache stats, pool sizes) without touching the hot path.
+
+    Registry structure (family and series dicts) is ``RLock``-guarded
+    (``# guarded-by: _lock``, enforced by RPR401/RPR402); individual
+    instrument updates (``Counter.inc`` et al.) are single bytecode-
+    level float operations and stay lock-free by design.
     """
 
     enabled = True
 
     def __init__(self) -> None:
-        self._families: dict[str, _Family[Any]] = {}
-        self._collectors: dict[str, Callable[[MetricsRegistry], None]] = {}
-        self._lock = threading.Lock()
+        # Reentrant: snapshot() holds the lock while collectors call
+        # back into counter()/gauge() accessors.
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family[Any]] = {}  # guarded-by: _lock
+        self._collectors: dict[  # guarded-by: _lock
+            str, Callable[[MetricsRegistry], None]
+        ] = {}
 
     # -- instrument accessors ------------------------------------------
 
     def _family(self, name: str, kind: str, factory: Callable[[], I]) -> _Family[I]:
+        # Lock-required (enforced by RPR402): callers hold self._lock,
+        # covering both the family map and the family's series dict.
         family = self._families.get(name)
         if family is None:
-            with self._lock:
-                family = self._families.setdefault(name, _Family(name, kind, factory))
+            family = _Family(name, kind, factory)
+            self._families[name] = family
         if family.kind != kind:
             raise ValueError(
                 f"metric {name!r} is a {family.kind}, requested as {kind}"
@@ -298,10 +309,12 @@ class MetricsRegistry:
         return family
 
     def counter(self, name: str, tags: TagMap | None = None) -> Counter:
-        return self._family(name, "counter", Counter).child(tags)
+        with self._lock:
+            return self._family(name, "counter", Counter).child(tags)
 
     def gauge(self, name: str, tags: TagMap | None = None) -> Gauge:
-        return self._family(name, "gauge", Gauge).child(tags)
+        with self._lock:
+            return self._family(name, "gauge", Gauge).child(tags)
 
     def histogram(
         self,
@@ -311,7 +324,8 @@ class MetricsRegistry:
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
     ) -> Histogram:
         factory = lambda: Histogram(buckets=buckets, quantiles=quantiles)  # noqa: E731
-        return self._family(name, "histogram", factory).child(tags)
+        with self._lock:
+            return self._family(name, "histogram", factory).child(tags)
 
     # -- collectors ----------------------------------------------------
 
@@ -319,7 +333,8 @@ class MetricsRegistry:
         self, key: str, collect: Callable[[MetricsRegistry], None]
     ) -> None:
         """(Re-)register a pull callback run before every snapshot."""
-        self._collectors[key] = collect
+        with self._lock:
+            self._collectors[key] = collect
 
     # -- export --------------------------------------------------------
 
@@ -333,6 +348,12 @@ class MetricsRegistry:
                  "buckets": [[le, cumulative], ...],
                  "quantiles": {"p50": ..., ...}}
         """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> list[dict]:
+        # Lock-required (enforced by RPR402); collectors re-enter the
+        # instrument accessors, which is why the lock is reentrant.
         for collect in list(self._collectors.values()):
             collect(self)
         records: list[dict] = []

@@ -15,10 +15,16 @@ LRU ordering rides on dict insertion order: a hit re-inserts its entry
 at the tail, so the head (``next(iter(...))``) is always the
 least-recently-used victim — O(1) eviction instead of the O(n)
 min-scan a timestamp comparison would need.
+
+Thread safety: every operation (including the read path — ``get``
+re-inserts its entry to update recency) mutates the entry dict, so
+each holds ``self._lock``; the attribute is ``# guarded-by: _lock``
+annotated and checked statically by RPR401 (:mod:`repro.analysis.locks`).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -79,30 +85,33 @@ class VectorCache:
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._lock = threading.RLock()
         # Insertion order IS the recency order: head = LRU, tail = MRU.
-        self._entries: dict[tuple[str, int], _Entry] = {}
+        self._entries: dict[tuple[str, int], _Entry] = {}  # guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
         """Return the cached vector if present *and* version-current."""
         key = (kind, entity_id)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.version != version:
-            # Information changed since the vector was computed.
-            self.stats.misses += 1
-            self.stats.stale_hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.version != version:
+                # Information changed since the vector was computed.
+                self.stats.misses += 1
+                self.stats.stale_hits += 1
+                del self._entries[key]
+                return None
+            # Move to tail: this entry is now the most recently used.
             del self._entries[key]
-            return None
-        # Move to tail: this entry is now the most recently used.
-        del self._entries[key]
-        self._entries[key] = entry
-        self.stats.hits += 1
-        return entry.vector
+            self._entries[key] = entry
+            self.stats.hits += 1
+            return entry.vector
 
     def peek(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
         """Recency-neutral lookup: the vector if current, else ``None``.
@@ -114,35 +123,43 @@ class VectorCache:
         not counted (and a stale one is not dropped); the warmer
         follows up with :meth:`put`, which records the real work done.
         """
-        entry = self._entries.get((kind, entity_id))
-        if entry is None or entry.version != version:
-            return None
-        self.stats.hits += 1
-        return entry.vector
+        with self._lock:
+            entry = self._entries.get((kind, entity_id))
+            if entry is None or entry.version != version:
+                return None
+            self.stats.hits += 1
+            return entry.vector
 
     def put(
         self, kind: str, entity_id: int, version: str, vector: np.ndarray
     ) -> None:
         """Store a vector, evicting the LRU entry at capacity."""
         key = (kind, entity_id)
-        existing = key in self._entries
-        if existing:
-            del self._entries[key]  # re-insert at tail below
-        elif self.capacity is not None and len(self._entries) >= self.capacity:
-            del self._entries[next(iter(self._entries))]
-            self.stats.evictions += 1
-        self._entries[key] = _Entry(
+        entry = _Entry(
             version=version,
             vector=np.asarray(vector, dtype=np.float64).copy(),
         )
+        with self._lock:
+            existing = key in self._entries
+            if existing:
+                del self._entries[key]  # re-insert at tail below
+            elif (
+                self.capacity is not None
+                and len(self._entries) >= self.capacity
+            ):
+                del self._entries[next(iter(self._entries))]
+                self.stats.evictions += 1
+            self._entries[key] = entry
 
     def invalidate(self, kind: str, entity_id: int) -> bool:
         """Explicitly drop an entry (e.g. on entity deletion)."""
-        removed = self._entries.pop((kind, entity_id), None) is not None
-        if removed:
-            self.stats.invalidations += 1
-        return removed
+        with self._lock:
+            removed = self._entries.pop((kind, entity_id), None) is not None
+            if removed:
+                self.stats.invalidations += 1
+            return removed
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -28,10 +28,21 @@ against with a single matrix-vector product.
 The index is a pure data structure: it owns no telemetry and no
 model.  :class:`~repro.core.service.RepresentationService` maintains
 it and exports :class:`IndexStats` through ``repro.obs``.
+
+Thread safety: every public method holds ``self._lock`` (an
+``RLock`` — scoring methods re-enter through :meth:`score_ids`), so
+concurrent mutators and rankers see consistent row/matrix state.  The
+row-mapping internals are ``# guarded-by: _lock`` annotated and the
+discipline is enforced statically by RPR401/RPR402
+(:mod:`repro.analysis.locks`).  The compound serving read —
+resolve rows, filter by activity, GEMV/GEMM — must be atomic (a
+concurrent swap-with-last ``remove`` moves rows between the steps),
+which is what :meth:`score_ids` / :meth:`score_ids_batch` provide.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -115,76 +126,99 @@ class EventIndex:
             raise ValueError(
                 f"initial_capacity must be >= 1, got {self.initial_capacity}"
             )
-        self._rows: dict[int, int] = {}
-        self._versions: dict[int, str] = {}
-        self._size = 0
-        self._dim: int | None = None
+        # Reentrant: score_ids holds the lock while calling the locked
+        # public scoring methods.
+        self._lock = threading.RLock()
+        self._rows: dict[int, int] = {}  # guarded-by: _lock
+        self._versions: dict[int, str] = {}  # guarded-by: _lock
+        self._size = 0  # guarded-by: _lock
+        self._dim: int | None = None  # guarded-by: _lock
         # Row-aligned storage, allocated lazily at the first upsert
         # (the vector dimension is only known then).
-        self._matrix: np.ndarray | None = None  # unit rows, (capacity, dim)
-        self._scales: np.ndarray | None = None  # ‖e‖ / (‖e‖ + ε)
-        self._ids: np.ndarray | None = None  # event_id per row
-        self._created: np.ndarray | None = None
-        self._starts: np.ndarray | None = None
-        self._events: list[Event] = []
+        self._matrix: np.ndarray | None = None  # guarded-by: _lock
+        self._scales: np.ndarray | None = None  # guarded-by: _lock
+        self._ids: np.ndarray | None = None  # guarded-by: _lock
+        self._created: np.ndarray | None = None  # guarded-by: _lock
+        self._starts: np.ndarray | None = None  # guarded-by: _lock
+        self._events: list[Event] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._size
+        with self._lock:
+            return self._size
 
     def __contains__(self, event_id: int) -> bool:
-        return event_id in self._rows
+        with self._lock:
+            return event_id in self._rows
 
     @property
     def dim(self) -> int | None:
         """Vector dimensionality, ``None`` until the first upsert."""
-        return self._dim
+        with self._lock:
+            return self._dim
 
     @property
     def capacity(self) -> int:
-        return 0 if self._matrix is None else self._matrix.shape[0]
+        with self._lock:
+            return 0 if self._matrix is None else self._matrix.shape[0]
 
     def version(self, event_id: int) -> str | None:
         """Stored version fingerprint, ``None`` when absent."""
-        return self._versions.get(event_id)
+        with self._lock:
+            return self._versions.get(event_id)
 
     def row_of(self, event_id: int) -> int:
         """Current row of an event (rows move under compaction)."""
-        return self._rows[event_id]
+        with self._lock:
+            return self._rows[event_id]
 
     def rows_for(self, event_ids: Iterable[int]) -> np.ndarray:
-        """Row indices for a candidate id list (all must be present)."""
-        rows = self._rows
-        return np.fromiter(
-            (rows[event_id] for event_id in event_ids), dtype=np.intp
-        )
+        """Row indices for a candidate id list (all must be present).
+
+        Rows move under concurrent compaction the moment the lock is
+        released — for scoring, use the atomic :meth:`score_ids`.
+        """
+        with self._lock:
+            rows = self._rows
+            return np.fromiter(
+                (rows[event_id] for event_id in event_ids), dtype=np.intp
+            )
 
     def event_at(self, row: int) -> Event:
-        return self._events[row]
+        with self._lock:
+            return self._events[row]
 
     @property
     def events(self) -> list[Event]:
         """The indexed event objects (copy, row order)."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     @property
     def event_ids(self) -> np.ndarray:
-        """Event ids row-aligned with :attr:`vectors`."""
-        if self._ids is None:
-            return np.empty(0, dtype=np.int64)
-        return self._ids[: self._size]
+        """Event ids row-aligned with :attr:`vectors` (copy)."""
+        with self._lock:
+            if self._ids is None:
+                return np.empty(0, dtype=np.int64)
+            return self._ids[: self._size].copy()
 
     @property
     def vectors(self) -> np.ndarray:
-        """Read-only view of the live L2-normalized rows."""
-        if self._matrix is None:
-            return np.empty((0, 0), dtype=np.float64)
-        view = self._matrix[: self._size]
-        view.flags.writeable = False
-        return view
+        """Read-only view of the live L2-normalized rows.
+
+        A *view*, not a copy — zero-cost for parity tests, but its
+        contents track concurrent mutation; lock-consistent reads go
+        through :meth:`score_ids`.
+        """
+        with self._lock:
+            if self._matrix is None:
+                return np.empty((0, 0), dtype=np.float64)
+            view = self._matrix[: self._size]
+            view.flags.writeable = False
+            return view
 
     # ------------------------------------------------------------------
     # mutation
@@ -220,82 +254,87 @@ class EventIndex:
         overwritten in place) or ``"inserted"`` (new row appended,
         doubling capacity as needed).  All three are O(1) amortized.
         """
+        values = (
+            None if vector is None else np.asarray(vector, dtype=np.float64)
+        )
+        if values is not None and values.ndim != 1:
+            raise ValueError(f"vector must be 1-D, got shape {values.shape}")
         event_id = event.event_id
-        row = self._rows.get(event_id)
-        if row is not None and self._versions[event_id] == version:
-            # Content fingerprint unchanged ⇒ the vector is current.
-            # Times are not version-covered, so keep them up to date.
+        with self._lock:
+            row = self._rows.get(event_id)
+            if row is not None and self._versions[event_id] == version:
+                # Content fingerprint unchanged ⇒ the vector is current.
+                # Times are not version-covered, so keep them up to date.
+                self._created[row] = event.created_at
+                self._starts[row] = event.starts_at
+                self._events[row] = event
+                self.stats.fresh_skips += 1
+                return "fresh"
+            if values is None:
+                raise ValueError(
+                    f"event {event_id} is new or stale in the index; "
+                    "upsert requires its vector"
+                )
+            if self._matrix is None:
+                self._allocate(values.shape[0])
+            if values.shape[0] != self._dim:
+                raise ValueError(
+                    f"vector dim {values.shape[0]} != index dim {self._dim}"
+                )
+            if row is None:
+                if self._size == self.capacity:
+                    self._grow()
+                row = self._size
+                self._size += 1
+                self._rows[event_id] = row
+                self._events.append(event)
+                self.stats.inserts += 1
+                outcome = "inserted"
+            else:
+                self._events[row] = event
+                self.stats.refreshes += 1
+                outcome = "refreshed"
+            norm = float(np.sqrt(values @ values))
+            if norm > 0.0:
+                self._matrix[row] = values / norm
+            else:
+                self._matrix[row] = 0.0
+            self._scales[row] = norm / (norm + COSINE_EPS)
+            self._ids[row] = event_id
             self._created[row] = event.created_at
             self._starts[row] = event.starts_at
-            self._events[row] = event
-            self.stats.fresh_skips += 1
-            return "fresh"
-        if vector is None:
-            raise ValueError(
-                f"event {event_id} is new or stale in the index; "
-                "upsert requires its vector"
-            )
-        values = np.asarray(vector, dtype=np.float64)
-        if values.ndim != 1:
-            raise ValueError(f"vector must be 1-D, got shape {values.shape}")
-        if self._matrix is None:
-            self._allocate(values.shape[0])
-        if values.shape[0] != self._dim:
-            raise ValueError(
-                f"vector dim {values.shape[0]} != index dim {self._dim}"
-            )
-        if row is None:
-            if self._size == self.capacity:
-                self._grow()
-            row = self._size
-            self._size += 1
-            self._rows[event_id] = row
-            self._events.append(event)
-            self.stats.inserts += 1
-            outcome = "inserted"
-        else:
-            self._events[row] = event
-            self.stats.refreshes += 1
-            outcome = "refreshed"
-        norm = float(np.sqrt(values @ values))
-        if norm > 0.0:
-            self._matrix[row] = values / norm
-        else:
-            self._matrix[row] = 0.0
-        self._scales[row] = norm / (norm + COSINE_EPS)
-        self._ids[row] = event_id
-        self._created[row] = event.created_at
-        self._starts[row] = event.starts_at
-        self._versions[event_id] = version
-        return outcome
+            self._versions[event_id] = version
+            return outcome
 
     def remove(self, event_id: int) -> bool:
         """Drop an event in O(1) by swapping the last row into its slot."""
-        row = self._rows.pop(event_id, None)
-        if row is None:
-            return False
-        del self._versions[event_id]
-        last = self._size - 1
-        if row != last:
-            self._matrix[row] = self._matrix[last]
-            self._scales[row] = self._scales[last]
-            self._ids[row] = self._ids[last]
-            self._created[row] = self._created[last]
-            self._starts[row] = self._starts[last]
-            self._events[row] = self._events[last]
-            self._rows[int(self._ids[last])] = row
-            self.stats.compactions += 1
-        self._events.pop()
-        self._size = last
-        self.stats.removes += 1
-        return True
+        with self._lock:
+            row = self._rows.pop(event_id, None)
+            if row is None:
+                return False
+            del self._versions[event_id]
+            last = self._size - 1
+            if row != last:
+                self._matrix[row] = self._matrix[last]
+                self._scales[row] = self._scales[last]
+                self._ids[row] = self._ids[last]
+                self._created[row] = self._created[last]
+                self._starts[row] = self._starts[last]
+                self._events[row] = self._events[last]
+                self._rows[int(self._ids[last])] = row
+                self.stats.compactions += 1
+            self._events.pop()
+            self._size = last
+            self.stats.removes += 1
+            return True
 
     def clear(self) -> None:
         """Drop every row (storage is kept for reuse)."""
-        self._rows.clear()
-        self._versions.clear()
-        self._events.clear()
-        self._size = 0
+        with self._lock:
+            self._rows.clear()
+            self._versions.clear()
+            self._events.clear()
+            self._size = 0
 
     # ------------------------------------------------------------------
     # scoring
@@ -308,9 +347,10 @@ class EventIndex:
         self, at_time: float, rows: np.ndarray | None = None
     ) -> np.ndarray:
         """Vectorized ``Event.is_active`` over (a subset of) the rows."""
-        created = self._select(self._created, rows)
-        starts = self._select(self._starts, rows)
-        return (created <= at_time) & (at_time < starts)
+        with self._lock:
+            created = self._select(self._created, rows)
+            starts = self._select(self._starts, rows)
+            return (created <= at_time) & (at_time < starts)
 
     def scores(
         self, query: np.ndarray, rows: np.ndarray | None = None
@@ -322,13 +362,14 @@ class EventIndex:
         rows carry a residual ``‖e‖/(‖e‖+ε)`` scale so the training
         epsilon convention is reproduced, not approximated.
         """
-        if self._matrix is None:
-            return np.empty(0, dtype=np.float64)
         values = np.asarray(query, dtype=np.float64)
         norm = np.sqrt(values @ values) + COSINE_EPS
-        dots = self._select(self._matrix, rows) @ values
-        # repro: noqa[RPR101] fused GEMV form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
-        return dots * (self._select(self._scales, rows) / norm)
+        with self._lock:
+            if self._matrix is None:
+                return np.empty(0, dtype=np.float64)
+            dots = self._select(self._matrix, rows) @ values
+            # repro: noqa[RPR101] fused GEMV form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
+            return dots * (self._select(self._scales, rows) / norm)
 
     def scores_batch(
         self, queries: np.ndarray, rows: np.ndarray | None = None
@@ -341,13 +382,82 @@ class EventIndex:
         values = np.asarray(queries, dtype=np.float64)
         if values.ndim != 2:
             raise ValueError(f"queries must be 2-D, got shape {values.shape}")
-        if self._matrix is None:
-            return np.empty((values.shape[0], 0), dtype=np.float64)
         norms = np.sqrt((values * values).sum(axis=1)) + COSINE_EPS
-        dots = values @ self._select(self._matrix, rows).T
-        scales = self._select(self._scales, rows)
-        # repro: noqa[RPR101] fused GEMM form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
-        return dots * (scales[None, :] / norms[:, None])
+        with self._lock:
+            if self._matrix is None:
+                return np.empty((values.shape[0], 0), dtype=np.float64)
+            dots = values @ self._select(self._matrix, rows).T
+            scales = self._select(self._scales, rows)
+            # repro: noqa[RPR101] fused GEMM form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
+            return dots * (scales[None, :] / norms[:, None])
+
+    def _resolve_ids(
+        self, event_ids: Sequence[int], at_time: float | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Positions-into-``event_ids`` + rows, under the held lock.
+
+        Ids not (or no longer) present are skipped — a concurrent
+        remover winning the race is indistinguishable from the event
+        never having been indexed.
+        """
+        rows_list: list[int] = []
+        positions_list: list[int] = []
+        mapping = self._rows
+        for position, event_id in enumerate(event_ids):
+            row = mapping.get(event_id)
+            if row is not None:
+                rows_list.append(row)
+                positions_list.append(position)
+        rows = np.asarray(rows_list, dtype=np.intp)
+        positions = np.asarray(positions_list, dtype=np.intp)
+        if rows.size and at_time is not None:
+            active = np.flatnonzero(self.activity_mask(at_time, rows))
+            rows = rows[active]
+            positions = positions[active]
+        return positions, rows
+
+    def score_ids(
+        self,
+        query: np.ndarray,
+        event_ids: Sequence[int],
+        at_time: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Atomic resolve → activity filter → GEMV for one user.
+
+        Returns ``(positions, scores)``: indices into ``event_ids``
+        that were present (and active when ``at_time`` is given), and
+        their cosine scores, aligned.  The three steps run under one
+        lock acquisition — done separately, a concurrent
+        swap-with-last ``remove`` can move a row between resolve and
+        score, silently scoring the wrong event.
+        """
+        with self._lock:
+            positions, rows = self._resolve_ids(event_ids, at_time)
+            if rows.size == 0:
+                return positions, np.empty(0, dtype=np.float64)
+            return positions, self.scores(query, rows)
+
+    def score_ids_batch(
+        self,
+        queries: np.ndarray,
+        event_ids: Sequence[int],
+        at_time: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Atomic resolve → activity filter → GEMM for a user cohort.
+
+        Returns ``(positions, score_matrix)`` with ``score_matrix`` of
+        shape ``(num_users, len(positions))``; same atomicity contract
+        as :meth:`score_ids`.
+        """
+        values = np.asarray(queries, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {values.shape}")
+        with self._lock:
+            positions, rows = self._resolve_ids(event_ids, at_time)
+            if rows.size == 0:
+                empty = np.empty((values.shape[0], 0), dtype=np.float64)
+                return positions, empty
+            return positions, self.scores_batch(values, rows)
 
     # ------------------------------------------------------------------
     # invariants (test/debug support)
@@ -359,32 +469,39 @@ class EventIndex:
         Explicit raises (not ``assert``) so the checks survive ``-O``
         and carry a description of what broke; cheap enough for tests.
         """
-        if not (self._size == len(self._rows) == len(self._versions)):
-            raise RuntimeError(
-                f"size bookkeeping diverged: size={self._size}, "
-                f"rows={len(self._rows)}, versions={len(self._versions)}"
-            )
-        if len(self._events) != self._size:
-            raise RuntimeError(
-                f"event list length {len(self._events)} != size {self._size}"
-            )
-        if sorted(self._rows.values()) != list(range(self._size)):
-            raise RuntimeError("row indices are not a dense 0..size-1 range")
-        for event_id, row in self._rows.items():
-            if int(self._ids[row]) != event_id:
+        with self._lock:
+            if not (self._size == len(self._rows) == len(self._versions)):
                 raise RuntimeError(
-                    f"id column mismatch at row {row}: "
-                    f"{int(self._ids[row])} != {event_id}"
+                    f"size bookkeeping diverged: size={self._size}, "
+                    f"rows={len(self._rows)}, versions={len(self._versions)}"
                 )
-            if self._events[row].event_id != event_id:
+            if len(self._events) != self._size:
                 raise RuntimeError(
-                    f"event record mismatch at row {row} for id {event_id}"
+                    f"event list length {len(self._events)} != "
+                    f"size {self._size}"
                 )
-        if self._size:
-            live = self._matrix[: self._size]
-            norms = np.sqrt((live * live).sum(axis=1))
-            if not np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0)):
-                raise RuntimeError("live rows are neither unit-norm nor zero")
+            if sorted(self._rows.values()) != list(range(self._size)):
+                raise RuntimeError(
+                    "row indices are not a dense 0..size-1 range"
+                )
+            for event_id, row in self._rows.items():
+                if int(self._ids[row]) != event_id:
+                    raise RuntimeError(
+                        f"id column mismatch at row {row}: "
+                        f"{int(self._ids[row])} != {event_id}"
+                    )
+                if self._events[row].event_id != event_id:
+                    raise RuntimeError(
+                        f"event record mismatch at row {row} "
+                        f"for id {event_id}"
+                    )
+            if self._size:
+                live = self._matrix[: self._size]
+                norms = np.sqrt((live * live).sum(axis=1))
+                if not np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0)):
+                    raise RuntimeError(
+                        "live rows are neither unit-norm nor zero"
+                    )
 
 
 def brute_force_order(

@@ -39,6 +39,19 @@ class TestScopeForPath:
     def test_test(self, path):
         assert scope_for_path(path) == "test"
 
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/test_harness.py",
+            "src/repro/eval/test_split.py",
+        ],
+    )
+    def test_src_tree_test_prefix_stays_src(self, path):
+        # A production module cannot opt out of src-only rules by
+        # being named test_*.py — the filename heuristic only applies
+        # outside a src tree.
+        assert scope_for_path(path) == "src"
+
 
 class TestSuppressions:
     def test_inline_noqa_suppresses(self):
@@ -102,6 +115,33 @@ class TestSuppressions:
         source = "def f(x):\n    assert x  # repro: noqa[RPR104]\n"
         assert analyze_source(source, "tests/test_example.py") == []
 
+    def test_lowercase_code_suppresses(self):
+        # Codes normalize to uppercase; lowercase noqa used to be
+        # silently dropped by the case-sensitive code check.
+        source = "def f(x):\n    assert x  # repro: noqa[rpr104] checked\n"
+        assert analyze_source(source, SRC) == []
+
+    def test_malformed_code_reported_as_rpr100(self):
+        source = "def f(x):\n    assert x  # repro: noqa[RPR10]\n"
+        codes = {f.code for f in analyze_source(source, SRC)}
+        # the assert still fires AND the typo'd code is surfaced
+        assert codes == {"RPR104", "RPR100"}
+        malformed = [
+            f
+            for f in analyze_source(source, SRC)
+            if f.code == "RPR100" and "malformed" in f.message
+        ]
+        assert malformed and "RPR10" in malformed[0].message
+
+    def test_malformed_code_reported_even_with_reporting_disabled(self):
+        # --no-unused-noqa silences stale suppressions, not typos.
+        source = "def f(x):\n    return x  # repro: noqa[bogus]\n"
+        findings = analyze_source(
+            source, SRC, report_unused_suppressions=False
+        )
+        assert [f.code for f in findings] == ["RPR100"]
+        assert "malformed" in findings[0].message
+
 
 class TestSyntaxError:
     def test_rpr999_instead_of_exception(self):
@@ -150,3 +190,21 @@ class TestFileWalking:
         findings = analyze_paths([tmp_path])
         assert [f.path for f in findings] == sorted(f.path for f in findings)
         assert {f.code for f in findings} == {"RPR102"}
+
+    def test_overlapping_path_arguments_deduplicate(self, tmp_path):
+        # `analyze src src/repro` must not parse and report files
+        # twice, inflating finding counts.
+        nested = tmp_path / "pkg"
+        nested.mkdir()
+        (nested / "mod.py").write_text(
+            "import numpy as np\nnp.random.seed(0)\n"
+        )
+        once = analyze_paths([tmp_path])
+        twice = analyze_paths([tmp_path, nested])
+        assert len(once) == len(twice) == 1
+
+    def test_same_file_listed_twice_yields_once(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        files = list(iter_python_files([target, target, tmp_path]))
+        assert files == [target]

@@ -55,6 +55,29 @@ class TestReportPlumbing:
         document = json.loads(stream.getvalue())
         assert document["summary"]["by_code"] == {"RPR104": 1}
 
+    def test_sarif_format(self, src_tree):
+        root = src_tree("dirty.py", DIRTY)
+        stream = io.StringIO()
+        assert run([str(root)], output_format="sarif", stream=stream) == 1
+        document = json.loads(stream.getvalue())
+        assert document["version"] == "2.1.0"
+        (sarif_run,) = document["runs"]
+        assert sarif_run["tool"]["driver"]["name"] == "repro.analysis"
+        (rule,) = sarif_run["tool"]["driver"]["rules"]
+        assert rule["id"] == "RPR104"
+        assert rule["shortDescription"]["text"]
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "RPR104"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+
+    def test_sarif_clean_run_has_no_results(self, src_tree):
+        root = src_tree("clean.py", CLEAN)
+        stream = io.StringIO()
+        assert run([str(root)], output_format="sarif", stream=stream) == 0
+        document = json.loads(stream.getvalue())
+        assert document["runs"][0]["results"] == []
+
     def test_select_narrows_rules(self, src_tree):
         root = src_tree("dirty.py", DIRTY)
         stream = io.StringIO()
@@ -81,6 +104,12 @@ class TestArgparseEntry:
         assert analysis_main([str(root), "--format", "json"]) == 1
         json.loads(capsys.readouterr().out)
 
+    def test_module_main_sarif(self, src_tree, capsys):
+        root = src_tree("dirty.py", DIRTY)
+        assert analysis_main([str(root), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+
 
 class TestCliSubcommand:
     def test_analyze_clean(self, src_tree, capsys):
@@ -101,3 +130,9 @@ class TestCliSubcommand:
     def test_analyze_list_rules(self, capsys):
         assert cli_main(["analyze", "--list-rules"]) == 0
         assert "RPR101" in capsys.readouterr().out
+
+    def test_analyze_sarif(self, src_tree, capsys):
+        root = src_tree("dirty.py", DIRTY)
+        assert cli_main(["analyze", str(root), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"

@@ -226,6 +226,63 @@ class TestIndexedParity:
         assert service.rank_events_batch([], []) == []
 
 
+class TestBatchEdgeCases:
+    """rank_events_batch corners: they must all agree with rank_events."""
+
+    def _assert_parity(self, service, users, events, **kwargs):
+        batch = service.rank_events_batch(users, events, **kwargs)
+        assert len(batch) == len(users)
+        for user, rankings in zip(users, batch):
+            single = service.rank_events(user, events, **kwargs)
+            assert [s.event.event_id for s in rankings] == [
+                s.event.event_id for s in single
+            ]
+            assert np.allclose(
+                [s.score for s in rankings],
+                [s.score for s in single],
+                atol=1e-9,
+            )
+
+    def test_empty_user_list_with_events(self, service, tiny_events):
+        assert service.rank_events_batch([], tiny_events) == []
+        assert service.rank_events_batch([], tiny_events, top_k=2) == []
+
+    def test_top_k_exceeds_pool(self, service, tiny_users, tiny_events):
+        batch = service.rank_events_batch(tiny_users, tiny_events, top_k=99)
+        assert all(
+            len(rankings) == len(tiny_events) for rankings in batch
+        )
+        self._assert_parity(service, tiny_users, tiny_events, top_k=99)
+
+    def test_all_zero_user_vector(self, service, tiny_users, tiny_events):
+        """A degenerate user (zero vector) scores ~0 everywhere; the
+        batch path must still produce the same deterministic id-break
+        ordering as the per-user path."""
+        user = tiny_users[0]
+        dim = service.user_vector(user).shape[0]
+        service.cache.put(
+            service.USER_KIND,
+            user.user_id,
+            service.user_version(user),
+            np.zeros(dim),
+        )
+        assert np.allclose(service.user_vector(user), 0.0)
+        self._assert_parity(service, [user], tiny_events)
+        (rankings,) = service.rank_events_batch([user], tiny_events)
+        assert all(abs(s.score) < 1e-9 for s in rankings)
+        # zero scores everywhere: ties break by ascending event id
+        assert [s.event.event_id for s in rankings] == sorted(
+            e.event_id for e in tiny_events
+        )
+
+    def test_single_user_batch_matches_rank_events(
+        self, service, tiny_users, tiny_events
+    ):
+        self._assert_parity(
+            service, tiny_users[:1], tiny_events, at_time=45.0, top_k=1
+        )
+
+
 class TestIndexMaintenance:
     def test_rank_populates_index(self, service, tiny_users, tiny_events):
         service.rank_events(tiny_users[0], tiny_events)

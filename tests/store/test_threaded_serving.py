@@ -1,0 +1,245 @@
+"""Thread-safety of the serving path: atomic scoring and stress parity.
+
+The stress test races mutator threads (upserting and removing a churn
+pool) against reader threads ranking a disjoint stable pool through
+``score_ids`` + ``top_k_order``.  Mutations move rows (swap-with-last
+removal, capacity growth reallocations) but never change stable
+vectors, so every concurrent ranking must match the single-threaded
+oracle — which is exactly the property the index lock protects.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.entities import Event
+from repro.store.index import EventIndex, top_k_order
+
+
+def make_event(
+    event_id: int, created: float = 0.0, starts: float = 100.0
+) -> Event:
+    return Event(
+        event_id=event_id,
+        title=f"event {event_id}",
+        description="",
+        category="cat",
+        created_at=created,
+        starts_at=starts,
+    )
+
+
+class TestScoreIds:
+    def test_missing_ids_are_skipped(self, rng):
+        index = EventIndex()
+        vectors = {i: rng.normal(size=6) for i in (1, 2, 3)}
+        for event_id, vector in vectors.items():
+            index.upsert(make_event(event_id), "v1", vector)
+        query = rng.normal(size=6)
+        positions, scores = index.score_ids(query, [9, 1, 7, 3])
+        assert positions.tolist() == [1, 3]
+        expected = index.scores(query, np.array([index.row_of(1), index.row_of(3)]))
+        np.testing.assert_array_equal(scores, expected)
+
+    def test_at_time_filters_inactive(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1, created=0.0, starts=10.0), "v1", rng.normal(size=4))
+        index.upsert(make_event(2, created=0.0, starts=90.0), "v1", rng.normal(size=4))
+        positions, scores = index.score_ids(rng.normal(size=4), [1, 2], at_time=50.0)
+        # event 1 already started by t=50, only event 2 is active
+        assert positions.tolist() == [1]
+        assert scores.shape == (1,)
+
+    def test_all_missing_returns_empty(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        positions, scores = index.score_ids(rng.normal(size=4), [7, 8])
+        assert positions.size == 0 and scores.size == 0
+
+    def test_batch_matches_per_user(self, rng):
+        index = EventIndex()
+        for event_id in range(1, 6):
+            index.upsert(make_event(event_id), "v1", rng.normal(size=8))
+        queries = rng.normal(size=(3, 8))
+        ids = [5, 9, 2, 1]
+        positions, matrix = index.score_ids_batch(queries, ids)
+        assert matrix.shape == (3, positions.size)
+        for i, query in enumerate(queries):
+            solo_positions, solo_scores = index.score_ids(query, ids)
+            np.testing.assert_array_equal(positions, solo_positions)
+            np.testing.assert_allclose(matrix[i], solo_scores, atol=1e-12)
+
+    def test_batch_requires_2d_queries(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        with pytest.raises(ValueError, match="2-D"):
+            index.score_ids_batch(rng.normal(size=4), [1])
+
+    def test_batch_empty_resolution_shape(self, rng):
+        index = EventIndex()
+        index.upsert(make_event(1), "v1", rng.normal(size=4))
+        positions, matrix = index.score_ids_batch(rng.normal(size=(2, 4)), [9])
+        assert positions.size == 0
+        assert matrix.shape == (2, 0)
+
+
+@pytest.mark.threads
+class TestConcurrentServingParity:
+    STABLE = 32
+    CHURN = 64
+    DIM = 16
+    MUTATORS = 4
+    READERS = 4
+    READS_PER_THREAD = 150
+    TOP_K = 10
+
+    def test_ranked_parity_under_churn(self):
+        rng = np.random.default_rng(7)
+        index = EventIndex(initial_capacity=4)
+
+        stable_ids = list(range(self.STABLE))
+        stable_vectors = rng.normal(size=(self.STABLE, self.DIM))
+        for event_id in stable_ids:
+            index.upsert(
+                make_event(event_id), "v1", stable_vectors[event_id]
+            )
+        churn_ids = list(
+            range(self.STABLE, self.STABLE + self.CHURN)
+        )
+        churn_vectors = rng.normal(size=(self.CHURN, self.DIM))
+
+        queries = rng.normal(size=(self.READERS, self.DIM))
+        ids_array = np.asarray(stable_ids, dtype=np.int64)
+
+        # Single-threaded oracle: ranked stable ids per reader query.
+        oracles = []
+        for query in queries:
+            positions, scores = index.score_ids(query, stable_ids)
+            order = top_k_order(scores, ids_array[positions], self.TOP_K)
+            oracles.append(
+                (ids_array[positions][order], scores[order])
+            )
+
+        stop = threading.Event()
+        start = threading.Barrier(self.MUTATORS + self.READERS)
+        errors: list[BaseException] = []
+
+        def mutate(worker: int) -> None:
+            local = np.random.default_rng(100 + worker)
+            mine = churn_ids[worker :: self.MUTATORS]
+            try:
+                start.wait()
+                while not stop.is_set():
+                    event_id = int(local.choice(mine))
+                    if event_id in index:
+                        index.remove(event_id)
+                    else:
+                        index.upsert(
+                            make_event(event_id),
+                            f"v{int(local.integers(10))}",
+                            churn_vectors[event_id - self.STABLE],
+                        )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def read(worker: int) -> None:
+            query = queries[worker]
+            oracle_ids, oracle_scores = oracles[worker]
+            try:
+                start.wait()
+                for _ in range(self.READS_PER_THREAD):
+                    positions, scores = index.score_ids(query, stable_ids)
+                    # stable events are never removed: all must resolve
+                    assert positions.size == self.STABLE
+                    order = top_k_order(
+                        scores, ids_array[positions], self.TOP_K
+                    )
+                    ranked_ids = ids_array[positions][order]
+                    np.testing.assert_array_equal(ranked_ids, oracle_ids)
+                    np.testing.assert_allclose(
+                        scores[order], oracle_scores, atol=1e-9
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=mutate, args=(i,))
+            for i in range(self.MUTATORS)
+        ] + [
+            threading.Thread(target=read, args=(i,))
+            for i in range(self.READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads[self.MUTATORS :]:
+            thread.join()
+        stop.set()
+        for thread in threads[: self.MUTATORS]:
+            thread.join()
+
+        assert not errors, errors[0]
+        index.check_invariants()
+        for event_id in stable_ids:
+            assert event_id in index
+
+    def test_batch_reads_race_mutators(self):
+        rng = np.random.default_rng(11)
+        index = EventIndex(initial_capacity=4)
+        stable_ids = list(range(16))
+        for event_id in stable_ids:
+            index.upsert(
+                make_event(event_id), "v1", rng.normal(size=self.DIM)
+            )
+        churn_ids = list(range(16, 48))
+        churn_vectors = rng.normal(size=(len(churn_ids), self.DIM))
+        queries = rng.normal(size=(4, self.DIM))
+
+        oracle_positions, oracle_matrix = index.score_ids_batch(
+            queries, stable_ids
+        )
+
+        stop = threading.Event()
+        start = threading.Barrier(self.MUTATORS + 1)
+        errors: list[BaseException] = []
+
+        def mutate(worker: int) -> None:
+            local = np.random.default_rng(200 + worker)
+            mine = churn_ids[worker :: self.MUTATORS]
+            try:
+                start.wait()
+                while not stop.is_set():
+                    event_id = int(local.choice(mine))
+                    if event_id in index:
+                        index.remove(event_id)
+                    else:
+                        index.upsert(
+                            make_event(event_id),
+                            "v1",
+                            churn_vectors[event_id - 16],
+                        )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=mutate, args=(i,))
+            for i in range(self.MUTATORS)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        try:
+            for _ in range(100):
+                positions, matrix = index.score_ids_batch(
+                    queries, stable_ids
+                )
+                np.testing.assert_array_equal(positions, oracle_positions)
+                np.testing.assert_allclose(
+                    matrix, oracle_matrix, atol=1e-9
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[0]
+        index.check_invariants()
