@@ -1,0 +1,21 @@
+"""Standalone open-loop load run against the synthetic serving stack.
+
+Thin executable wrapper over :mod:`repro.loadgen` — the same engine
+the ``repro-events loadgen`` CLI command drives — kept under
+``benchmarks/`` so the serving arc has a one-file entry point::
+
+    PYTHONPATH=src python benchmarks/loadgen.py --rate 200 --duration 2 \\
+        --chrome-out benchmarks/results/loadgen_trace.json \\
+        --bench-out BENCH_serving.json
+
+Run with ``--help`` for the full flag list (shared with the CLI).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["loadgen", *sys.argv[1:]]))

@@ -21,6 +21,7 @@ __all__ = [
     "FloatEqualityComparison",
     "MutableDefaultArgument",
     "DunderAllDrift",
+    "SpanNameGrammar",
 ]
 
 _NUMPY_ALIASES = frozenset({"np", "numpy"})
@@ -276,15 +277,15 @@ class MetricNameConvention(Rule):
     ``repro_<subsystem>_<name>_<unit>`` (README "Observability"):
     lowercase, ``repro_`` prefix, at least three segments.  Counters
     end in ``_total``; gauges and histograms must not (that suffix is
-    reserved).  Span names take the convention *without* the unit —
-    the histogram appends ``_seconds`` itself.
+    reserved).  Span and stage names have their own grammar — see
+    RPR108 (:class:`SpanNameGrammar`).
     """
 
     code = "RPR103"
     name = "metric-name-convention"
     description = (
-        "metric/span name literal must match repro_<subsystem>_<name>"
-        "_<unit> (counters end _total; spans omit the unit)"
+        "metric name literal must match repro_<subsystem>_<name>"
+        "_<unit> (counters end _total)"
     )
     scopes = frozenset({"src"})
 
@@ -308,8 +309,6 @@ class MetricNameConvention(Rule):
         func = node.func
         if isinstance(func, ast.Attribute) and func.attr in _METRIC_METHODS:
             return func.attr
-        if isinstance(func, ast.Name) and func.id == "span":
-            return "span"
         return None
 
     def _check_name(
@@ -334,13 +333,6 @@ class MetricNameConvention(Rule):
                 node,
                 f"{kind} name {name!r} must not end in _total (reserved "
                 "for counters)",
-            )
-        elif kind == "span" and name.endswith("_seconds"):
-            yield self.finding(
-                context,
-                node,
-                f"span name {name!r} must omit the unit suffix; the span "
-                "histogram appends _seconds itself",
             )
 
 
@@ -583,3 +575,72 @@ class DunderAllDrift(Rule):
                     f"__all__ entry {name!r} has no top-level definition "
                     "in this module",
                 )
+
+
+# ----------------------------------------------------------------------
+# RPR108 — span name grammar
+# ----------------------------------------------------------------------
+
+_SPAN_NAME = re.compile(r"^repro(_[a-z0-9]+){2,}$")
+_SPAN_CALLS = frozenset({"span", "timed", "record_stage"})
+_RESERVED_UNIT_SUFFIXES = (
+    "_seconds",
+    "_total",
+    "_bytes",
+    "_ratio",
+    "_count",
+)
+
+
+@register_rule
+class SpanNameGrammar(Rule):
+    """RPR108: span/stage names must follow the span grammar.
+
+    ``repro_<subsystem>_<name>`` (README "Observability"): lowercase,
+    ``repro_`` prefix, at least three segments, and **no** unit
+    suffix — ``span()``/``timed()``/``record_stage()`` derive the
+    histogram family by appending ``_seconds`` themselves, so a name
+    that already carries a unit produces doubled metric names
+    (``repro_x_seconds_seconds``) and breaks latency attribution
+    joins between traces and histograms.
+    """
+
+    code = "RPR108"
+    name = "span-name-grammar"
+    description = (
+        "span/stage name literal must match repro_<subsystem>_<name> "
+        "(lowercase, >= 3 segments, no unit suffix)"
+    )
+    scopes = frozenset({"src"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            callee = _call_name(node)
+            if callee not in _SPAN_CALLS:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            name = first.value
+            if not _SPAN_NAME.match(name):
+                yield self.finding(
+                    context,
+                    first,
+                    f"{callee} name {name!r} violates the span grammar "
+                    "repro_<subsystem>_<name> (lowercase, >= 3 segments)",
+                )
+                continue
+            for suffix in _RESERVED_UNIT_SUFFIXES:
+                if name.endswith(suffix):
+                    yield self.finding(
+                        context,
+                        first,
+                        f"{callee} name {name!r} must omit the unit suffix "
+                        f"{suffix!r}; the span histogram appends _seconds "
+                        "itself",
+                    )
+                    break

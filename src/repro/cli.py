@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the life cycle a downstream user needs:
+Seven subcommands cover the life cycle a downstream user needs:
 
 * ``repro-events generate`` — synthesize a dataset and save it;
 * ``repro-events train`` — train the joint representation model on a
@@ -11,6 +11,9 @@ Six subcommands cover the life cycle a downstream user needs:
   evaluation end-to-end and print the reproduced tables;
 * ``repro-events metrics`` — render the final metrics snapshot of a
   telemetry file (written via ``--metrics-out``) as Prometheus text;
+* ``repro-events loadgen`` — drive open-loop Poisson traffic against
+  a self-contained serving stack with request tracing, and report
+  latency percentiles + per-stage attribution;
 * ``repro-events analyze`` — run the project's static-analysis rules
   (``python -m repro.analysis`` behind a subcommand).
 
@@ -22,7 +25,9 @@ Examples::
     repro-events recommend --dataset world.json.gz --bundle model_bundle \\
         --user-id 3 --at-time 900 --top-k 5 --serving indexed
     repro-events experiment --scale small --tables 1 2
-    repro-events metrics --telemetry telemetry.jsonl
+    repro-events metrics --telemetry telemetry.jsonl --exemplars
+    repro-events loadgen --rate 200 --duration 2 \\
+        --chrome-out trace.json --bench-out BENCH_serving.json
     repro-events analyze src tests benchmarks --format json
 
 ``--metrics-out PATH`` (on ``train`` and ``experiment``) enables the
@@ -138,6 +143,48 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--format", choices=("prometheus", "json"), default="prometheus"
     )
+    metrics.add_argument(
+        "--exemplars", action="store_true",
+        help="append OpenMetrics exemplar suffixes (trace ids) to "
+        "histogram bucket lines",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="open-loop load harness for the serving path",
+        description="Replay Poisson-arrival rank/score traffic against a "
+        "self-contained synthetic RepresentationService across worker "
+        "threads, with request tracing on, and report p50/p95/p99 "
+        "latency plus per-stage attribution computed from the traces.",
+    )
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="offered arrival rate, requests/second")
+    loadgen.add_argument("--duration", type=float, default=2.0,
+                         help="seconds of open-loop arrivals")
+    loadgen.add_argument("--workers", type=int, default=4)
+    loadgen.add_argument("--top-k", type=int, default=10)
+    loadgen.add_argument("--pool-size", type=int, default=500,
+                         help="candidate-pool size (events in the index)")
+    loadgen.add_argument("--batch-users", type=int, default=1,
+                         help="> 1 routes rank traffic through rank_events_batch")
+    loadgen.add_argument("--score-fraction", type=float, default=0.2,
+                         help="fraction of requests that are single-pair score calls")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--keep-slowest", type=int, default=16,
+                         help="tail sampler: always retain the N slowest traces")
+    loadgen.add_argument("--sample-fraction", type=float, default=0.05,
+                         help="tail sampler: uniform background sample fraction")
+    loadgen.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write retained traces as JSONL here")
+    loadgen.add_argument("--chrome-out", default=None, metavar="PATH",
+                         help="write retained traces as Chrome trace_event "
+                         "JSON (chrome://tracing / Perfetto) here")
+    loadgen.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write a JSONL telemetry snapshot here")
+    loadgen.add_argument("--bench-out", default=None, metavar="PATH",
+                         help="append a trajectory point to this BENCH_*.json")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of text")
 
     analyze = commands.add_parser(
         "analyze",
@@ -351,7 +398,97 @@ def _cmd_metrics(args) -> int:
 
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
-        print(render_prometheus(snapshot), end="")
+        print(render_prometheus(snapshot, exemplars=args.exemplars), end="")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+    import time
+
+    from repro.loadgen import (
+        LoadgenConfig,
+        append_bench_point,
+        build_synthetic_service,
+        format_report,
+        run_load,
+    )
+    from repro.obs import (
+        TailSampler,
+        Tracer,
+        use_tracer,
+        write_chrome_trace,
+        write_trace_jsonl,
+    )
+
+    try:
+        config = LoadgenConfig(
+            rate=args.rate,
+            duration=args.duration,
+            workers=args.workers,
+            top_k=args.top_k,
+            score_fraction=args.score_fraction,
+            batch_users=args.batch_users,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"building synthetic serving stack (pool={args.pool_size}) ...",
+        file=sys.stderr,
+    )
+    service, users, events = build_synthetic_service(
+        seed=args.seed, pool_size=args.pool_size
+    )
+    sampler = TailSampler(
+        keep_slowest=args.keep_slowest,
+        sample_fraction=args.sample_fraction,
+        seed=args.seed,
+    )
+    with use_registry(MetricsRegistry()) as registry:
+        with use_tracer(Tracer(sampler)) as tracer:
+            report = run_load(service, users, events, config, registry=registry)
+        traces = tracer.traces()
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    if args.trace_out:
+        count = write_trace_jsonl(traces, args.trace_out)
+        print(f"{count} traces written to {args.trace_out}", file=sys.stderr)
+    if args.chrome_out:
+        count = write_chrome_trace(traces, args.chrome_out)
+        print(
+            f"{count} trace events written to {args.chrome_out} "
+            "(load in chrome://tracing or Perfetto)",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        with TelemetryWriter(args.metrics_out) as writer:
+            writer.write({"record": "run", "command": "loadgen"})
+            writer.write_snapshot(registry, command="loadgen")
+        print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+    if args.bench_out:
+        point = {
+            "date": time.strftime("%Y-%m-%d", time.gmtime()),
+            "rate": config.rate,
+            "duration": config.duration,
+            "workers": config.workers,
+            "pool_size": args.pool_size,
+            "requests": report.requests,
+            "achieved_rps": round(report.achieved_rps, 2),
+            "saturated": report.saturated,
+            "latency_p50_ms": round(report.latency["p50"] * 1e3, 3),
+            "latency_p95_ms": round(report.latency["p95"] * 1e3, 3),
+            "latency_p99_ms": round(report.latency["p99"] * 1e3, 3),
+        }
+        document = append_bench_point(args.bench_out, point)
+        print(
+            f"trajectory point {len(document['points'])} appended to "
+            f"{args.bench_out}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -376,6 +513,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "experiment": _cmd_experiment,
     "metrics": _cmd_metrics,
+    "loadgen": _cmd_loadgen,
     "analyze": _cmd_analyze,
 }
 

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -119,6 +118,10 @@ class RepresentationService:
         # None → resolve the global registry at call time, so telemetry
         # enabled after construction is still picked up.
         self._registry = registry
+        # Stable bound-method objects: register_collector short-circuits
+        # on identity, so per-request re-registration stays lock-free.
+        self._cache_collector = self._collect_cache_metrics
+        self._index_collector = self._collect_index_metrics
 
     # ------------------------------------------------------------------
     # telemetry
@@ -128,10 +131,10 @@ class RepresentationService:
         registry = self._registry if self._registry is not None else get_registry()
         if registry.enabled:
             registry.register_collector(
-                f"repro_cache:{id(self.cache)}", self._collect_cache_metrics
+                f"repro_cache:{id(self.cache)}", self._cache_collector
             )
             registry.register_collector(
-                f"repro_index:{id(self.index)}", self._collect_index_metrics
+                f"repro_index:{id(self.index)}", self._index_collector
             )
         return registry
 
@@ -194,13 +197,13 @@ class RepresentationService:
         if cached is not None:
             return cached
         registry = self._obs()
-        start = time.perf_counter() if registry.enabled else 0.0
-        encoded = self.model.encoder.encode_user(user)
-        vector = self.model.encode_users([encoded])[0]
-        if registry.enabled:
-            registry.histogram(
-                "repro_serving_encode_seconds", tags={"kind": self.USER_KIND}
-            ).observe(time.perf_counter() - start)
+        with span(
+            "repro_serving_encode",
+            tags={"kind": self.USER_KIND},
+            registry=registry,
+        ):
+            encoded = self.model.encoder.encode_user(user)
+            vector = self.model.encode_users([encoded])[0]
         self.cache.put(self.USER_KIND, user.user_id, version, vector)
         return vector
 
@@ -211,13 +214,13 @@ class RepresentationService:
         if cached is not None:
             return cached
         registry = self._obs()
-        start = time.perf_counter() if registry.enabled else 0.0
-        encoded = self.model.encoder.encode_event(event)
-        vector = self.model.encode_events([encoded])[0]
-        if registry.enabled:
-            registry.histogram(
-                "repro_serving_encode_seconds", tags={"kind": self.EVENT_KIND}
-            ).observe(time.perf_counter() - start)
+        with span(
+            "repro_serving_encode",
+            tags={"kind": self.EVENT_KIND},
+            registry=registry,
+        ):
+            encoded = self.model.encoder.encode_event(event)
+            vector = self.model.encode_events([encoded])[0]
         self.cache.put(self.EVENT_KIND, event.event_id, version, vector)
         return vector
 
@@ -327,16 +330,15 @@ class RepresentationService:
         if not need_encode:
             return
         registry = self._obs()
-        start = time.perf_counter() if registry.enabled else 0.0
-        encoded = [
-            self.model.encoder.encode_event(event) for event, _ in need_encode
-        ]
-        vectors = self.model.encode_events(encoded)
-        if registry.enabled:
-            elapsed = time.perf_counter() - start
-            registry.histogram(
-                "repro_serving_encode_seconds", tags={"kind": self.EVENT_KIND}
-            ).observe(elapsed)
+        with span(
+            "repro_serving_encode",
+            tags={"kind": self.EVENT_KIND},
+            registry=registry,
+        ):
+            encoded = [
+                self.model.encoder.encode_event(event) for event, _ in need_encode
+            ]
+            vectors = self.model.encode_events(encoded)
         for (event, version), vector in zip(need_encode, vectors):
             self.cache.put(self.EVENT_KIND, event.event_id, version, vector)
             self.index.upsert(event, version, vector)
@@ -345,14 +347,15 @@ class RepresentationService:
         self, events: Sequence[Event], verify_versions: bool
     ) -> None:
         """Make every candidate scoreable before the matrix product."""
-        if verify_versions:
-            self.refresh_events(events)
-            return
-        missing = [
-            event for event in events if event.event_id not in self.index
-        ]
-        if missing:
-            self.refresh_events(missing)
+        with span("repro_serving_ensure_indexed", registry=self._obs()):
+            if verify_versions:
+                self.refresh_events(events)
+                return
+            missing = [
+                event for event in events if event.event_id not in self.index
+            ]
+            if missing:
+                self.refresh_events(missing)
 
     # ------------------------------------------------------------------
     # scoring
@@ -366,13 +369,8 @@ class RepresentationService:
         :meth:`JointUserEventModel.similarity` on the same pair.
         """
         registry = self._registry if self._registry is not None else get_registry()
-        start = time.perf_counter() if registry.enabled else 0.0
-        result = pair_cosine(self.user_vector(user), self.event_vector(event))
-        if registry.enabled:
-            registry.histogram("repro_serving_score_seconds").observe(
-                time.perf_counter() - start
-            )
-        return result
+        with span("repro_serving_score", registry=registry):
+            return pair_cosine(self.user_vector(user), self.event_vector(event))
 
     def rank_events(
         self,
@@ -474,11 +472,13 @@ class RepresentationService:
         )
         if positions.size == 0:
             return [], 0
-        order = top_k_order(scores, ids[positions], top_k)
-        return [
-            ScoredEvent(event=events[positions[i]], score=float(scores[i]))
-            for i in order
-        ], int(positions.size)
+        with span("repro_serving_topk", registry=self._obs()):
+            order = top_k_order(scores, ids[positions], top_k)
+            scored = [
+                ScoredEvent(event=events[positions[i]], score=float(scores[i]))
+                for i in order
+            ]
+        return scored, int(positions.size)
 
     def rank_events_batch(
         self,
@@ -541,16 +541,17 @@ class RepresentationService:
             return [[] for _ in users]
         selected_ids = ids[positions]
         results: list[list[ScoredEvent]] = []
-        for scores in score_matrix:
-            order = top_k_order(scores, selected_ids, top_k)
-            results.append(
-                [
-                    ScoredEvent(
-                        event=events[positions[i]], score=float(scores[i])
-                    )
-                    for i in order
-                ]
-            )
+        with span("repro_serving_topk", registry=self._obs()):
+            for scores in score_matrix:
+                order = top_k_order(scores, selected_ids, top_k)
+                results.append(
+                    [
+                        ScoredEvent(
+                            event=events[positions[i]], score=float(scores[i])
+                        )
+                        for i in order
+                    ]
+                )
         return results
 
     def _user_matrix(self, users: Sequence[User]) -> np.ndarray:
@@ -566,15 +567,15 @@ class RepresentationService:
                 pending.append((i, user, version))
         if pending:
             registry = self._obs()
-            start = time.perf_counter() if registry.enabled else 0.0
-            encoded = [
-                self.model.encoder.encode_user(user) for _, user, _ in pending
-            ]
-            batch = self.model.encode_users(encoded)
-            if registry.enabled:
-                registry.histogram(
-                    "repro_serving_encode_seconds", tags={"kind": self.USER_KIND}
-                ).observe(time.perf_counter() - start)
+            with span(
+                "repro_serving_encode",
+                tags={"kind": self.USER_KIND},
+                registry=registry,
+            ):
+                encoded = [
+                    self.model.encoder.encode_user(user) for _, user, _ in pending
+                ]
+                batch = self.model.encode_users(encoded)
             for (i, user, version), vector in zip(pending, batch):
                 self.cache.put(self.USER_KIND, user.user_id, version, vector)
                 vectors[i] = vector

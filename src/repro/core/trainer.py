@@ -20,11 +20,18 @@ from repro.nn.losses import contrastive_loss
 from repro.nn.optim import SGD, Adagrad, ExponentialDecay, Optimizer
 from repro.obs.log import get_logger
 from repro.obs.registry import get_registry
+from repro.obs.spans import span
+from repro.obs.trace import record_stage
 from repro.text.documents import EncodedEvent, EncodedUser
 
 __all__ = ["TrainingHistory", "RepresentationTrainer", "EpochCallback"]
 
 _log = get_logger("repro.core.trainer")
+
+# Training durations dwarf serving latencies: 10 ms .. 30 min.
+_TRAIN_DURATION_BUCKETS = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0,
+)
 
 EpochCallback = Callable[[int, Mapping[str, float]], None]
 """``on_epoch_end(epoch_index, stats)`` observer; ``stats`` carries
@@ -91,6 +98,17 @@ class RepresentationTrainer:
         Returns the :class:`TrainingHistory`; the model is left holding
         the best-validation parameters.
         """
+        with span("repro_train_fit", buckets=_TRAIN_DURATION_BUCKETS):
+            return self._fit(users, events, labels, sample_weight, on_epoch_end)
+
+    def _fit(
+        self,
+        users: Sequence[EncodedUser],
+        events: Sequence[EncodedEvent],
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None,
+        on_epoch_end: EpochCallback | None,
+    ) -> TrainingHistory:
         if not len(users) == len(events) == len(labels):
             raise ValueError("users, events and labels must be aligned")
         if len(users) == 0:
@@ -180,16 +198,18 @@ class RepresentationTrainer:
             history.train_losses.append(mean_train_loss)
             history.validation_losses.append(val_loss)
             history.learning_rates.append(rate)
+            # Lands in repro_train_epoch_seconds and, when tracing, as
+            # a per-epoch stage under the repro_train_fit span.
+            record_stage(
+                "repro_train_epoch",
+                epoch_seconds,
+                buckets=_TRAIN_DURATION_BUCKETS,
+            )
             if registry.enabled:
                 registry.gauge("repro_train_epoch_loss").set(mean_train_loss)
                 registry.gauge("repro_train_val_loss").set(val_loss)
                 registry.gauge("repro_train_learning_rate").set(rate)
                 registry.gauge("repro_train_grad_norm").set(grad_norm)
-                registry.histogram(
-                    "repro_train_epoch_seconds",
-                    buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
-                             60.0, 300.0, 1800.0),
-                ).observe(epoch_seconds)
                 registry.counter("repro_train_epochs_total").inc()
             if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
                 _log.info(

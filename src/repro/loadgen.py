@@ -1,0 +1,376 @@
+"""Open-loop load harness for the serving path.
+
+Replays Poisson-arrival rank/score traffic against a
+:class:`~repro.core.service.RepresentationService` from a pool of
+worker threads and reports what the ROADMAP's serving arc needs to
+know before building request coalescing: end-to-end latency
+percentiles, achieved vs offered throughput, and — when a
+:class:`~repro.obs.trace.Tracer` is installed — per-stage latency
+attribution (encode / cache hit-miss / index lock wait / GEMV /
+top-K) computed from real request traces.
+
+**Open-loop** means arrivals follow a fixed schedule drawn up front
+(exponential inter-arrival gaps at the offered rate) and are *not*
+gated on completions; latency is measured from the *scheduled*
+arrival, so queueing delay under saturation is charged to the
+request instead of silently vanishing (the coordinated-omission
+trap of closed-loop harnesses).
+
+The request schedule, user choice, and operation mix are all drawn
+from one seeded :class:`random.Random`, so a given config replays
+the same traffic every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import JointModelConfig
+from repro.core.model import JointUserEventModel
+from repro.core.service import RepresentationService
+from repro.datagen.config import DataConfig
+from repro.datagen.dataset import build_dataset
+from repro.entities import Event, User
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.spans import span
+from repro.obs.trace import Tracer, get_tracer
+from repro.text.documents import DocumentEncoder
+
+__all__ = [
+    "LoadgenConfig",
+    "RequestRecord",
+    "LoadReport",
+    "percentile",
+    "run_load",
+    "build_synthetic_service",
+    "format_report",
+    "append_bench_point",
+]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run.
+
+    ``rate`` is the *offered* mean arrival rate (requests/second);
+    ``duration`` bounds the arrival schedule, not the run (in-flight
+    requests drain after the last arrival).  ``score_fraction`` of
+    requests are single-pair ``score`` calls, the rest are
+    ``rank_events`` over the full candidate pool (or
+    ``rank_events_batch`` over ``batch_users`` users when that is
+    > 1).  Everything is driven by ``seed``.
+    """
+
+    rate: float = 200.0
+    duration: float = 2.0
+    workers: int = 4
+    top_k: int = 10
+    score_fraction: float = 0.2
+    batch_users: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.duration <= 0.0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not 0.0 <= self.score_fraction <= 1.0:
+            raise ValueError(
+                f"score_fraction must be in [0, 1], got {self.score_fraction}"
+            )
+        if self.batch_users < 1:
+            raise ValueError(f"batch_users must be >= 1, got {self.batch_users}")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One completed request; times are seconds from harness start.
+
+    ``latency`` runs from the **scheduled** arrival to completion and
+    therefore includes dispatcher lag and executor queue wait;
+    ``service`` covers only the service call itself.
+    """
+
+    index: int
+    op: str
+    scheduled: float
+    started: float
+    finished: float
+    trace_id: str | None
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.scheduled
+
+    @property
+    def service(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def queue_wait(self) -> float:
+        return self.started - self.scheduled
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact percentile (linear interpolation), ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """The harness's verdict: latency, throughput, attribution."""
+
+    config: LoadgenConfig
+    requests: int
+    wall_seconds: float
+    offered_rps: float
+    achieved_rps: float
+    latency: dict[str, float]
+    service: dict[str, float]
+    queue_wait: dict[str, float]
+    ops: dict[str, int]
+    saturated: bool
+    attribution: list[dict[str, float | str]] = field(default_factory=list)
+    records: tuple[RequestRecord, ...] = ()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view (drops the raw per-request records)."""
+        return {
+            "config": dataclasses.asdict(self.config),
+            "requests": self.requests,
+            "wall_seconds": self.wall_seconds,
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "latency": dict(self.latency),
+            "service": dict(self.service),
+            "queue_wait": dict(self.queue_wait),
+            "ops": dict(self.ops),
+            "saturated": self.saturated,
+            "attribution": [dict(row) for row in self.attribution],
+        }
+
+
+def _summary(values: Sequence[float]) -> dict[str, float]:
+    return {
+        "p50": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "p99": percentile(values, 99.0),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+    }
+
+
+def run_load(
+    service: RepresentationService,
+    users: Sequence[User],
+    events: Sequence[Event],
+    config: LoadgenConfig,
+    registry: MetricsRegistry | None = None,
+) -> LoadReport:
+    """Drive one open-loop run and summarize it.
+
+    The caller decides the observability setup: install a tracer
+    (``with use_tracer(...)``) to get per-stage attribution and
+    retained slow traces, and/or a live registry for histograms.
+    Each request runs under a ``repro_loadgen_request`` root span in
+    its worker thread, so with a tracer every request becomes its own
+    trace.
+    """
+    if not users:
+        raise ValueError("need at least one user")
+    if not events:
+        raise ValueError("need at least one event")
+    registry = registry if registry is not None else get_registry()
+    rng = random.Random(config.seed)
+
+    # Draw the full open-loop schedule up front: arrival offsets plus
+    # per-request operation and user choice, all from one seeded rng.
+    arrivals: list[float] = []
+    t = rng.expovariate(config.rate)
+    while t < config.duration:
+        arrivals.append(t)
+        t += rng.expovariate(config.rate)
+    plan: list[tuple[str, int]] = []
+    for _ in arrivals:
+        op = "score" if rng.random() < config.score_fraction else "rank"
+        plan.append((op, rng.randrange(len(users))))
+
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+
+    def now() -> float:
+        return time.perf_counter() - t0
+
+    def execute(index: int, scheduled: float, op: str, user_pos: int) -> RequestRecord:
+        started = now()
+        user = users[user_pos]
+        with span(
+            "repro_loadgen_request", tags={"op": op}, registry=registry
+        ) as root:
+            if op == "score":
+                service.score(user, events[user_pos % len(events)])
+            elif config.batch_users > 1:
+                cohort = [
+                    users[(user_pos + offset) % len(users)]
+                    for offset in range(config.batch_users)
+                ]
+                service.rank_events_batch(cohort, events, top_k=config.top_k)
+            else:
+                service.rank_events(user, events, top_k=config.top_k)
+        return RequestRecord(
+            index=index,
+            op=op,
+            scheduled=scheduled,
+            started=started,
+            finished=now(),
+            trace_id=getattr(root, "trace_id", None),
+        )
+
+    with ThreadPoolExecutor(
+        max_workers=config.workers, thread_name_prefix="repro-loadgen"
+    ) as pool:
+        futures = []
+        for index, scheduled in enumerate(arrivals):
+            delay = scheduled - now()
+            if delay > 0.0:
+                time.sleep(delay)
+            op, user_pos = plan[index]
+            futures.append(pool.submit(execute, index, scheduled, op, user_pos))
+        records = tuple(future.result() for future in futures)
+    wall = max(record.finished for record in records)
+
+    latencies = [record.latency for record in records]
+    services = [record.service for record in records]
+    waits = [record.queue_wait for record in records]
+    ops: dict[str, int] = {}
+    for record in records:
+        ops[record.op] = ops.get(record.op, 0) + 1
+    offered = len(records) / config.duration
+    achieved = len(records) / wall if wall > 0.0 else 0.0
+    # Saturated when the system cannot keep up with the offered rate:
+    # completions stretch past the arrival window by a margin clearly
+    # beyond one in-flight request draining.
+    saturated = achieved < 0.9 * offered
+    attribution = tracer.attribution() if tracer is not None else []
+    return LoadReport(
+        config=config,
+        requests=len(records),
+        wall_seconds=wall,
+        offered_rps=offered,
+        achieved_rps=achieved,
+        latency=_summary(latencies),
+        service=_summary(services),
+        queue_wait=_summary(waits),
+        ops=ops,
+        saturated=saturated,
+        attribution=attribution,
+        records=records,
+    )
+
+
+def build_synthetic_service(
+    seed: int = 0, pool_size: int = 500
+) -> tuple[RepresentationService, list[User], list[Event]]:
+    """A warmed service plus traffic entities for self-contained runs.
+
+    Builds the small synthetic world, fits the vocabulary, and stands
+    up an (untrained — load generation cares about compute shape, not
+    model quality) service.  The candidate pool is enlarged to
+    ``pool_size`` by replicating events under fresh ids, then fully
+    warmed so steady-state traffic exercises the indexed path.
+    """
+    dataset = build_dataset(DataConfig.small(seed=seed))
+    # Explicit id order: traffic must not depend on container order.
+    users = sorted(dataset.users, key=lambda user: user.user_id)
+    events = sorted(dataset.events, key=lambda event: event.event_id)
+    next_id = max(event.event_id for event in events) + 1
+    base = len(events)
+    while len(events) < pool_size:
+        source = events[len(events) % base]
+        events.append(
+            dataclasses.replace(
+                source,
+                event_id=next_id,
+                title=f"{source.title} #{next_id}",
+            )
+        )
+        next_id += 1
+    events = events[:pool_size]
+    encoder = DocumentEncoder.fit(users, events, min_df=1)
+    model = JointUserEventModel(JointModelConfig.small(seed=seed), encoder)
+    service = RepresentationService(model)
+    service.warm(users, events)
+    return service, users, events
+
+
+def format_report(report: LoadReport) -> str:
+    """Human-readable summary: rates, percentiles, attribution table."""
+    lines = [
+        f"requests:      {report.requests} over {report.wall_seconds:.2f} s "
+        f"({', '.join(f'{op}={n}' for op, n in sorted(report.ops.items()))})",
+        f"offered rate:  {report.offered_rps:.1f} req/s",
+        f"achieved rate: {report.achieved_rps:.1f} req/s"
+        + ("  [SATURATED]" if report.saturated else ""),
+        "",
+        f"{'':<12} {'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'max ms':>9}",
+    ]
+    for label, stats in (
+        ("latency", report.latency),
+        ("service", report.service),
+        ("queue wait", report.queue_wait),
+    ):
+        lines.append(
+            f"{label:<12} {stats['p50'] * 1e3:>9.2f} {stats['p95'] * 1e3:>9.2f} "
+            f"{stats['p99'] * 1e3:>9.2f} {stats['max'] * 1e3:>9.2f}"
+        )
+    if report.attribution:
+        from repro.obs.trace import format_attribution
+
+        lines += ["", "per-stage attribution (from traces):"]
+        lines.append(format_attribution(report.attribution))
+    return "\n".join(lines)
+
+
+def append_bench_point(
+    path: str | Path, point: dict[str, Any], bench: str = "serving_loadgen"
+) -> dict[str, Any]:
+    """Append one trajectory point to a ``BENCH_*.json`` artifact.
+
+    The file holds ``{"bench": ..., "points": [...]}``; this reads the
+    existing document (if any), appends, rewrites, and returns the
+    document so callers can report the trajectory length.
+    """
+    target = Path(path)
+    if target.exists():
+        document = json.loads(target.read_text(encoding="utf-8"))
+        if document.get("bench") != bench:
+            raise ValueError(
+                f"{target} tracks bench {document.get('bench')!r}, not {bench!r}"
+            )
+    else:
+        document = {"bench": bench, "points": []}
+    document["points"].append(point)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document

@@ -1,26 +1,34 @@
-"""repro.obs — telemetry: metrics, spans, structured logs, exporters.
+"""repro.obs — telemetry: metrics, spans, traces, logs, exporters.
 
 The observability layer for the production-serving story of paper
-Section 4.  Four pieces:
+Section 4.  Five pieces:
 
 * :mod:`repro.obs.registry` — counters, gauges, histograms (fixed
-  buckets + streaming p50/p95/p99), labeled by name and tag dict;
+  buckets + streaming p50/p95/p99 + per-bucket exemplars), labeled by
+  name and tag dict;
 * :mod:`repro.obs.spans` — ``with span("repro_serving_rank"):`` wall
-  timers that nest into coarse trace trees;
+  timers that nest into trace trees via ``contextvars``;
+* :mod:`repro.obs.trace` — per-request trace/span ids, wall + CPU
+  time, tail-based slow-trace sampling, per-stage latency
+  attribution, JSONL and Chrome ``trace_event`` export;
 * :mod:`repro.obs.log` — JSON-lines structured logging with a fixed
-  ``{ts, level, event, logger, tags}`` schema;
+  ``{ts, level, event, logger, tags}`` schema (plus
+  ``trace_id``/``span_id`` when emitted inside a traced span);
 * :mod:`repro.obs.export` — JSONL telemetry files and the Prometheus
-  text format.
+  text format (optionally with OpenMetrics exemplar suffixes).
 
 Metric naming convention: ``repro_<subsystem>_<name>_<unit>`` —
 ``repro_serving_encode_seconds``, ``repro_cache_hits_total``,
-``repro_train_epoch_loss``.  Tag dicts carry the dimension that would
-otherwise explode the name (``{"kind": "user"}``).
+``repro_train_epoch_loss``.  Span names follow the same grammar minus
+the unit (``repro_serving_rank``; RPR108).  Tag dicts carry the
+dimension that would otherwise explode the name (``{"kind": "user"}``).
 
 Telemetry is **off by default**: the global registry is a
-:class:`NullRegistry` of shared no-op instruments, so instrumented hot
-paths cost one ``enabled`` check.  Turn it on per process with
-:func:`enable` or per scope with :func:`use_registry`.
+:class:`NullRegistry` of shared no-op instruments and no tracer is
+installed, so instrumented hot paths cost one ``enabled``/``active``
+check.  Turn metrics on per process with :func:`enable` or per scope
+with :func:`use_registry`; turn tracing on per scope with
+:func:`use_tracer`.
 """
 
 from repro.obs.export import (
@@ -45,6 +53,23 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.spans import Span, SpanRecorder, current_span, span, timed
+from repro.obs.trace import (
+    SpanRecord,
+    TailSampler,
+    Trace,
+    Tracer,
+    chrome_trace_events,
+    current_ids,
+    format_attribution,
+    get_tracer,
+    record_stage,
+    set_tracer,
+    stage_attribution,
+    trace_to_record,
+    use_tracer,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "Counter",
@@ -63,6 +88,21 @@ __all__ = [
     "span",
     "timed",
     "current_span",
+    "SpanRecord",
+    "Trace",
+    "Tracer",
+    "TailSampler",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "current_ids",
+    "record_stage",
+    "stage_attribution",
+    "format_attribution",
+    "trace_to_record",
+    "write_trace_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
     "StructuredLogger",
     "configure",
     "get_logger",

@@ -11,6 +11,12 @@ event payload.  Free-form messages go in ``tags={"message": ...}`` if
 needed; keeping the schema closed is what makes benchmark telemetry
 and production logs greppable with the same four keys.
 
+When the record is emitted inside a traced span (a
+:class:`~repro.obs.trace.Tracer` is installed and a span is open),
+top-level ``trace_id`` and ``span_id`` keys are injected
+automatically, so log lines correlate with exported traces without
+call sites threading ids around.
+
 Loggers resolve their sink and threshold from a module-global
 configuration at *emit* time, so tests can capture stderr and a CLI
 flag can redirect the whole process to a file without threading a
@@ -25,6 +31,8 @@ import sys
 import threading
 from collections.abc import Callable
 from typing import IO, Any
+
+from repro.obs.trace import current_ids
 
 __all__ = ["LEVELS", "StructuredLogger", "configure", "get_logger", "log_context"]
 
@@ -132,6 +140,9 @@ class StructuredLogger:
             "logger": self.name,
             "tags": tags,
         }
+        ids = current_ids()
+        if ids is not None:
+            record["trace_id"], record["span_id"] = ids
         line = json.dumps(record, sort_keys=True, default=_default_json)
         stream = _CONFIG.resolve_stream()
         stream.write(line + "\n")

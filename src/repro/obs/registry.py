@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 import threading
+from bisect import bisect_left
 from collections.abc import Callable, Iterable, Mapping
 from typing import Any, Generic, TypeVar
 
@@ -118,23 +119,40 @@ class _P2Quantile:
     piecewise-parabolic approximation.
     """
 
-    __slots__ = ("q", "_initial", "heights", "positions", "desired", "increments")
+    __slots__ = ("q", "_initial", "heights", "positions", "increments", "_markers", "_extra")
 
     def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {q}")
         self.q = q
-        self._initial: list[float] = []
+        self._initial: list[float] | None = []
         self.heights: list[float] = []
         self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
-        self.desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
         self.increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        # Interior markers as (index, desired-at-init, increment): the
+        # desired position after m post-init observations is
+        # ``d0 + m * inc`` — computed on the fly instead of mutating a
+        # 5-element list per observation (observe is hot-path code).
+        self._markers = (
+            (1, 1.0 + 2.0 * q, q / 2.0),
+            (2, 1.0 + 4.0 * q, q),
+            (3, 3.0 + 2.0 * q, (1.0 + q) / 2.0),
+        )
+        self._extra = 0  # observations beyond the initial five
+
+    @property
+    def desired(self) -> list[float]:
+        """Current desired marker positions (diagnostics only)."""
+        m = self._extra
+        return [1.0] + [d0 + m * inc for _, d0, inc in self._markers] + [5.0 + m]
 
     def observe(self, value: float) -> None:
-        if len(self._initial) < 5:
-            self._initial.append(value)
-            if len(self._initial) == 5:
-                self.heights = sorted(self._initial)
+        initial = self._initial
+        if initial is not None:
+            initial.append(value)
+            if len(initial) == 5:
+                self.heights = sorted(initial)
+                self._initial = None
             return
         heights, positions = self.heights, self.positions
         if value < heights[0]:
@@ -147,13 +165,17 @@ class _P2Quantile:
             cell = 0
             while value >= heights[cell + 1]:
                 cell += 1
-        for i in range(cell + 1, 5):
-            positions[i] += 1.0
-        for i in range(5):
-            self.desired[i] += self.increments[i]
+        if cell < 3:
+            positions[3] += 1.0
+            if cell < 2:
+                positions[2] += 1.0
+                if cell < 1:
+                    positions[1] += 1.0
+        positions[4] += 1.0
+        m = self._extra = self._extra + 1
         # Adjust interior markers toward their desired positions.
-        for i in (1, 2, 3):
-            delta = self.desired[i] - positions[i]
+        for i, d0, inc in self._markers:
+            delta = d0 + m * inc - positions[i]
             if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
                 delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
             ):
@@ -191,9 +213,28 @@ class _P2Quantile:
 
 
 class Histogram:
-    """Fixed-bucket histogram with streaming quantile markers."""
+    """Fixed-bucket histogram with streaming quantile markers.
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max", "_quantiles")
+    Observations may carry an *exemplar* — an opaque id (in practice a
+    trace id from :mod:`repro.obs.trace`) naming one concrete sample.
+    Each bucket keeps at most one exemplar under a max-wins policy:
+    the retained exemplar is the slowest sample that landed in that
+    bucket, so the top bucket's exemplar is the series' overall worst
+    case and is guaranteed to also be held by a keep-slowest tail
+    sampler.
+    """
+
+    __slots__ = (
+        "buckets",
+        "bucket_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "exemplars",
+        "_quantiles",
+        "_estimators",
+    )
 
     def __init__(
         self,
@@ -208,9 +249,12 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # bucket index -> (exemplar id, value); max-wins per bucket.
+        self.exemplars: dict[int, tuple[str, float]] = {}
         self._quantiles = {q: _P2Quantile(q) for q in quantiles}
+        self._estimators = tuple(self._quantiles.values())
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
@@ -218,14 +262,27 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        index = len(self.buckets)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                index = i
-                break
+        # First bound >= value, i.e. Prometheus `value <= le` semantics
+        # (C-speed binary search: observe is on the traced hot path).
+        index = bisect_left(self.buckets, value)
         self.bucket_counts[index] += 1
-        for estimator in self._quantiles.values():
+        if exemplar is not None:
+            held = self.exemplars.get(index)
+            if held is None or value > held[1]:
+                self.exemplars[index] = (exemplar, value)
+        for estimator in self._estimators:
             estimator.observe(value)
+
+    def bucket_exemplars(self) -> dict[str, dict[str, float | str]]:
+        """Exemplars keyed by bucket bound (``"0.005"`` … ``"+Inf"``)."""
+        out: dict[str, dict[str, float | str]] = {}
+        for index, (exemplar, value) in sorted(self.exemplars.items()):
+            if index < len(self.buckets):
+                le = repr(self.buckets[index])
+            else:
+                le = "+Inf"
+            out[le] = {"exemplar": exemplar, "value": value}
+        return out
 
     def quantile(self, q: float) -> float:
         """Streaming estimate of quantile ``q`` (must be tracked)."""
@@ -308,11 +365,28 @@ class MetricsRegistry:
             )
         return family
 
+    def _fast_child(self, name: str, kind: str, tags: TagMap | None) -> Any:
+        # Double-checked fast path for repeat lookups on the serving
+        # hot path: a GIL-atomic dict read either sees the fully
+        # constructed instrument or misses and falls through to the
+        # locked slow path.  Instruments are published only after
+        # construction, so a hit can never observe partial state.
+        family = self._families.get(name)
+        if family is not None and family.kind == kind:
+            return family.series.get(_tag_key(tags))
+        return None
+
     def counter(self, name: str, tags: TagMap | None = None) -> Counter:
+        instrument = self._fast_child(name, "counter", tags)  # repro: noqa[RPR402] benign double-checked read, locked fallback
+        if instrument is not None:
+            return instrument
         with self._lock:
             return self._family(name, "counter", Counter).child(tags)
 
     def gauge(self, name: str, tags: TagMap | None = None) -> Gauge:
+        instrument = self._fast_child(name, "gauge", tags)  # repro: noqa[RPR402] benign double-checked read, locked fallback
+        if instrument is not None:
+            return instrument
         with self._lock:
             return self._family(name, "gauge", Gauge).child(tags)
 
@@ -323,6 +397,9 @@ class MetricsRegistry:
         buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
         quantiles: Iterable[float] = DEFAULT_QUANTILES,
     ) -> Histogram:
+        instrument = self._fast_child(name, "histogram", tags)  # repro: noqa[RPR402] benign double-checked read, locked fallback
+        if instrument is not None:
+            return instrument
         factory = lambda: Histogram(buckets=buckets, quantiles=quantiles)  # noqa: E731
         with self._lock:
             return self._family(name, "histogram", factory).child(tags)
@@ -333,6 +410,11 @@ class MetricsRegistry:
         self, key: str, collect: Callable[[MetricsRegistry], None]
     ) -> None:
         """(Re-)register a pull callback run before every snapshot."""
+        # Serving code re-registers its collectors per request; skip
+        # the lock when the exact callback is already installed (a
+        # benign stale read only costs one locked re-registration).
+        if self._collectors.get(key) is collect:  # repro: noqa[RPR401] benign double-checked read, locked fallback
+            return
         with self._lock:
             self._collectors[key] = collect
 
@@ -381,6 +463,8 @@ class MetricsRegistry:
                         label: (None if math.isnan(value) else value)
                         for label, value in instrument.percentiles().items()
                     }
+                    if instrument.exemplars:
+                        record["exemplars"] = instrument.bucket_exemplars()
                 else:
                     record["value"] = instrument.value
                 records.append(record)
@@ -419,7 +503,7 @@ class _NullGauge(Gauge):
 class _NullHistogram(Histogram):
     __slots__ = ()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         pass
 
 

@@ -1,4 +1,4 @@
-"""Span/timer API: wall-time histograms with coarse trace trees.
+"""Span/timer API: wall-time histograms plus per-request traces.
 
 A *span* times a named region of code and records the duration into a
 histogram ``<name>_seconds`` on the active registry::
@@ -6,15 +6,24 @@ histogram ``<name>_seconds`` on the active registry::
     with span("repro_serving_rank", tags={"kind": "user"}):
         ...
 
-Spans nest: each thread keeps a stack, so a span knows its *path*
-("repro_serving_rank/repro_serving_encode") and depth, which is enough
-to reconstruct coarse trace trees from finished-span records without a
-distributed tracer.  Finished spans can be inspected through the
-:class:`SpanRecorder` used by tests and the benchmark telemetry
-exporter.
+Spans nest: the innermost open span lives in a ``contextvars``
+context variable (see :mod:`repro.obs.trace`), so a span knows its
+*path* ("repro_serving_rank/repro_serving_encode") and depth.
+Context variables are per-thread *and* per-task: a freshly started
+worker thread has no current span, so spans opened concurrently in
+different threads can never parent each other.
 
-When the active registry is disabled, :func:`span` returns a shared
-no-op context manager — no clock read, no allocation.
+When a :class:`~repro.obs.trace.Tracer` is installed, every span
+additionally carries ``trace_id``/``span_id``/``parent_id``, measures
+thread CPU time alongside wall time, attaches its trace id to the
+histogram observation as an exemplar, and reports a
+:class:`~repro.obs.trace.SpanRecord` to the tracer on exit.  Finished
+spans can also be inspected through the :class:`SpanRecorder` used by
+tests and the benchmark telemetry exporter.
+
+When the active registry is disabled and no tracer or recorder is
+installed, :func:`span` returns a shared no-op context manager — one
+branch, no clock read, no allocation.
 """
 
 from __future__ import annotations
@@ -22,32 +31,18 @@ from __future__ import annotations
 import functools
 import threading
 import time
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from typing import Any
 
+from repro.obs import trace as _trace
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.trace import SpanRecord, current_span
 
 __all__ = ["Span", "SpanRecorder", "span", "timed", "current_span"]
-
-_STACK = threading.local()
-
-
-def _stack() -> list["Span"]:
-    stack = getattr(_STACK, "spans", None)
-    if stack is None:
-        stack = []
-        _STACK.spans = stack
-    return stack
-
-
-def current_span() -> "Span | None":
-    """The innermost open span on this thread, if any."""
-    stack = _stack()
-    return stack[-1] if stack else None
 
 
 class SpanRecorder:
@@ -76,7 +71,24 @@ class SpanRecorder:
 class Span:
     """One timed region; use via the :func:`span` factory."""
 
-    __slots__ = ("name", "tags", "registry", "recorder", "path", "depth", "_start", "seconds")
+    __slots__ = (
+        "name",
+        "tags",
+        "registry",
+        "recorder",
+        "buckets",
+        "path",
+        "depth",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "seconds",
+        "cpu_seconds",
+        "_token",
+        "_start",
+        "_cpu_start",
+        "_ts",
+    )
 
     def __init__(
         self,
@@ -84,36 +96,57 @@ class Span:
         tags: Mapping[str, str] | None,
         registry: MetricsRegistry,
         recorder: SpanRecorder | None,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> None:
         self.name = name
         self.tags = dict(tags) if tags else {}
         self.registry = registry
         self.recorder = recorder
+        self.buckets = buckets
         self.path = name
         self.depth = 0
-        self._start = 0.0
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
         self.seconds: float | None = None
+        self.cpu_seconds: float | None = None
+        self._token: object = None
+        self._start = 0.0
+        self._cpu_start = 0.0
+        self._ts = 0.0
 
     def __enter__(self) -> "Span":
-        stack = _stack()
-        if stack:
-            parent = stack[-1]
+        parent = _trace.current_span()
+        if parent is not None:
             self.path = f"{parent.path}/{self.name}"
             self.depth = parent.depth + 1
-        stack.append(self)
+        tracer = _trace.get_tracer()
+        if tracer is not None:
+            self.span_id = _trace.new_span_id()
+            if parent is not None and parent.trace_id is not None:
+                self.trace_id = parent.trace_id
+                self.parent_id = parent.span_id
+            else:
+                # No traced ancestor: this span roots a new trace.
+                self.trace_id = _trace.new_trace_id()
+            self._ts = tracer.now()
+            self._cpu_start = time.thread_time()
+        self._token = _trace.set_current(self)
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.seconds = time.perf_counter() - self._start
-        stack = _stack()
-        if stack and stack[-1] is self:
-            stack.pop()
+        if self.trace_id is not None:
+            self.cpu_seconds = time.thread_time() - self._cpu_start
+        if self._token is not None:
+            _trace.reset_current(self._token)  # type: ignore[arg-type]
+            self._token = None
         self.registry.histogram(
             f"{self.name}_seconds",
             tags=self.tags,
-            buckets=DEFAULT_LATENCY_BUCKETS,
-        ).observe(self.seconds)
+            buckets=self.buckets,
+        ).observe(self.seconds, exemplar=self.trace_id)
         recorder = self.recorder or SpanRecorder._global
         if recorder is not None:
             recorder.add(
@@ -125,6 +158,23 @@ class Span:
                     "tags": self.tags,
                 }
             )
+        tracer = _trace.get_tracer()
+        if tracer is None or self.trace_id is None or self.span_id is None:
+            return
+        record = SpanRecord(
+            name=self.name,
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            path=self.path,
+            depth=self.depth,
+            ts=self._ts,
+            seconds=self.seconds,
+            cpu_seconds=self.cpu_seconds or 0.0,
+            tags=self.tags,
+            thread=threading.get_ident(),
+        )
+        tracer.on_span_finish(record, root=self.parent_id is None)
 
 
 class _NullSpan:
@@ -148,17 +198,25 @@ def span(
     tags: Mapping[str, str] | None = None,
     registry: MetricsRegistry | None = None,
     recorder: SpanRecorder | None = None,
+    buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
 ) -> Span | _NullSpan:
     """Open a timed span recording into ``<name>_seconds``.
 
-    ``name`` should follow the metric naming convention *without* the
-    unit suffix (``repro_serving_rank``); the histogram appends
-    ``_seconds``.
+    ``name`` should follow the span naming convention *without* the
+    unit suffix (``repro_serving_rank``, see RPR108); the histogram
+    appends ``_seconds``.  ``buckets`` customizes that histogram's
+    bucket bounds — note the *first* observation of a metric family
+    fixes its buckets, so every observer of one name must agree.
     """
     registry = registry if registry is not None else get_registry()
-    if not registry.enabled and recorder is None and SpanRecorder._global is None:
+    if (
+        not registry.enabled
+        and recorder is None
+        and SpanRecorder._global is None
+        and not _trace.active()
+    ):
         return _NULL_SPAN
-    return Span(name, tags, registry, recorder)
+    return Span(name, tags, registry, recorder, buckets=buckets)
 
 
 def timed(

@@ -20,14 +20,24 @@ Thread safety: every operation (including the read path — ``get``
 re-inserts its entry to update recency) mutates the entry dict, so
 each holds ``self._lock``; the attribute is ``# guarded-by: _lock``
 annotated and checked statically by RPR401 (:mod:`repro.analysis.locks`).
+
+When a :class:`repro.obs.trace.Tracer` is installed, :meth:`get`
+records a ``repro_cache_get`` stage tagged ``result=hit|miss|stale``,
+so per-request latency attribution separates cache hits from the
+misses that trigger tower re-encoding.  Without a tracer the cost is
+one module-global ``None`` check.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.obs.trace import active as _trace_active
+from repro.obs.trace import record_stage
 
 __all__ = ["CacheStats", "VectorCache"]
 
@@ -95,23 +105,37 @@ class VectorCache:
 
     def get(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
         """Return the cached vector if present *and* version-current."""
+        if not _trace_active():
+            return self._get(kind, entity_id, version)[0]
+        start = time.perf_counter()
+        vector, outcome = self._get(kind, entity_id, version)
+        record_stage(
+            "repro_cache_get",
+            time.perf_counter() - start,
+            tags={"kind": kind, "result": outcome},
+        )
+        return vector
+
+    def _get(
+        self, kind: str, entity_id: int, version: str
+    ) -> tuple[np.ndarray | None, str]:
         key = (kind, entity_id)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
-                return None
+                return None, "miss"
             if entry.version != version:
                 # Information changed since the vector was computed.
                 self.stats.misses += 1
                 self.stats.stale_hits += 1
                 del self._entries[key]
-                return None
+                return None, "stale"
             # Move to tail: this entry is now the most recently used.
             del self._entries[key]
             self._entries[key] = entry
             self.stats.hits += 1
-            return entry.vector
+            return entry.vector, "hit"
 
     def peek(self, kind: str, entity_id: int, version: str) -> np.ndarray | None:
         """Recency-neutral lookup: the vector if current, else ``None``.

@@ -25,9 +25,15 @@ against with a single matrix-vector product.
   arrays so ``at_time`` eligibility is one vectorized comparison, not
   a per-event ``is_active`` loop.
 
-The index is a pure data structure: it owns no telemetry and no
-model.  :class:`~repro.core.service.RepresentationService` maintains
-it and exports :class:`IndexStats` through ``repro.obs``.
+The index owns no model and no metrics of its own —
+:class:`~repro.core.service.RepresentationService` maintains it and
+exports :class:`IndexStats` through ``repro.obs``.  The one exception
+is *request tracing*: when a :class:`repro.obs.trace.Tracer` is
+installed, the scoring entry points emit ``repro_index_lock_wait``
+(time spent waiting to acquire ``_lock``) and
+``repro_index_gemv``/``repro_index_gemm`` stage spans, so per-request
+latency attribution can separate lock contention from kernel time.
+With no tracer, the cost is one module-global ``None`` check.
 
 Thread safety: every public method holds ``self._lock`` (an
 ``RLock`` — scoring methods re-enter through :meth:`score_ids`), so
@@ -43,6 +49,7 @@ which is what :meth:`score_ids` / :meth:`score_ids_batch` provide.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -50,6 +57,9 @@ import numpy as np
 
 from repro.entities import Event
 from repro.nn.cosine import COSINE_EPS
+from repro.obs.spans import span
+from repro.obs.trace import active as _trace_active
+from repro.obs.trace import record_stage
 
 __all__ = ["IndexStats", "EventIndex", "top_k_order"]
 
@@ -431,10 +441,20 @@ class EventIndex:
         swap-with-last ``remove`` can move a row between resolve and
         score, silently scoring the wrong event.
         """
+        traced = _trace_active()
+        wait_start = time.perf_counter() if traced else 0.0
         with self._lock:
+            if traced:
+                record_stage(
+                    "repro_index_lock_wait",
+                    time.perf_counter() - wait_start,
+                )
             positions, rows = self._resolve_ids(event_ids, at_time)
             if rows.size == 0:
                 return positions, np.empty(0, dtype=np.float64)
+            if traced:
+                with span("repro_index_gemv"):
+                    return positions, self.scores(query, rows)
             return positions, self.scores(query, rows)
 
     def score_ids_batch(
@@ -452,11 +472,21 @@ class EventIndex:
         values = np.asarray(queries, dtype=np.float64)
         if values.ndim != 2:
             raise ValueError(f"queries must be 2-D, got shape {values.shape}")
+        traced = _trace_active()
+        wait_start = time.perf_counter() if traced else 0.0
         with self._lock:
+            if traced:
+                record_stage(
+                    "repro_index_lock_wait",
+                    time.perf_counter() - wait_start,
+                )
             positions, rows = self._resolve_ids(event_ids, at_time)
             if rows.size == 0:
                 empty = np.empty((values.shape[0], 0), dtype=np.float64)
                 return positions, empty
+            if traced:
+                with span("repro_index_gemm"):
+                    return positions, self.scores_batch(values, rows)
             return positions, self.scores_batch(values, rows)
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ import pytest
         "rpr105_good.pytxt",
         "rpr106_good.pytxt",
         "rpr107_good.pytxt",
+        "rpr108_good.pytxt",
         "rpr201_good.pytxt",
     ],
 )
@@ -25,11 +26,12 @@ def test_good_fixtures_are_clean(analyze_fixture, fixture):
     [
         ("rpr101_bad.pytxt", "RPR101", 4),
         ("rpr102_bad.pytxt", "RPR102", 3),
-        ("rpr103_bad.pytxt", "RPR103", 5),
+        ("rpr103_bad.pytxt", "RPR103", 4),
         ("rpr104_bad.pytxt", "RPR104", 1),
         ("rpr105_bad.pytxt", "RPR105", 2),
         ("rpr106_bad.pytxt", "RPR106", 3),
         ("rpr107_bad.pytxt", "RPR107", 2),
+        ("rpr108_bad.pytxt", "RPR108", 5),
         ("rpr201_bad.pytxt", "RPR201", 1),
     ],
 )
@@ -65,6 +67,7 @@ class TestRuleScoping:
             "rpr103_bad.pytxt",   # toy metric names allowed in tests
             "rpr104_bad.pytxt",   # pytest's assert contract
             "rpr105_bad.pytxt",   # exact float oracles
+            "rpr108_bad.pytxt",   # stub span names allowed in tests
         ],
     )
     def test_src_only_rules_skip_test_scope(self, analyze_fixture, fixture):

@@ -50,6 +50,45 @@ class TestPrometheus:
         text = render_prometheus(registry.snapshot())
         assert 'q="say \\"hi\\"\\n"' in text
 
+    def test_label_backslash_escaped_first(self):
+        # A literal backslash must render as \\ — and must not double-
+        # escape the quote/newline escapes added after it.
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", tags={"path": 'a\\b"c'}).inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'path="a\\\\b\\"c"' in text
+
+    def test_label_keys_render_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_x_total", tags={"zeta": "1", "alpha": "2", "mid": "3"}
+        ).inc()
+        text = render_prometheus(registry.snapshot())
+        assert '{alpha="2",mid="3",zeta="1"}' in text
+
+    def test_exemplars_off_by_default(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_x_seconds", buckets=(1.0,)).observe(
+            0.5, exemplar="00000000000000aa"
+        )
+        text = render_prometheus(registry.snapshot())
+        assert "00000000000000aa" not in text
+
+    def test_exemplars_render_openmetrics_suffix(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_x_seconds", buckets=(1.0,))
+        histogram.observe(0.5, exemplar="00000000000000aa")
+        histogram.observe(3.0, exemplar="00000000000000bb")
+        text = render_prometheus(registry.snapshot(), exemplars=True)
+        assert (
+            'repro_x_seconds_bucket{le="1"} 1 '
+            '# {trace_id="00000000000000aa"} 0.5' in text
+        )
+        assert (
+            'repro_x_seconds_bucket{le="+Inf"} 2 '
+            '# {trace_id="00000000000000bb"} 3' in text
+        )
+
     def test_empty_snapshot_renders_empty(self):
         assert render_prometheus([]) == ""
 

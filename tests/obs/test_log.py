@@ -85,6 +85,41 @@ class TestLoggerCache:
         assert captured.out == ""
 
 
+class TestTraceCorrelation:
+    def test_traced_span_ids_injected(self):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.spans import span
+        from repro.obs.trace import Tracer, use_tracer
+
+        registry = MetricsRegistry()
+        stream = io.StringIO()
+        with log_context(stream=stream, clock=lambda: 0.0):
+            with use_tracer(Tracer()):
+                with span("repro_test_root", registry=registry) as root:
+                    get_logger("repro.test").info("inside")
+        record = json.loads(stream.getvalue())
+        assert record["trace_id"] == root.trace_id
+        assert record["span_id"] == root.span_id
+
+    def test_no_ids_without_open_span(self):
+        stream = io.StringIO()
+        emit(stream, action=lambda log: log.info("outside"))
+        record = json.loads(stream.getvalue())
+        assert "trace_id" not in record and "span_id" not in record
+
+    def test_no_ids_for_untraced_span(self):
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.spans import span
+
+        registry = MetricsRegistry()
+        stream = io.StringIO()
+        with log_context(stream=stream, clock=lambda: 0.0):
+            with span("repro_test_root", registry=registry):
+                get_logger("repro.test").info("inside")
+        record = json.loads(stream.getvalue())
+        assert "trace_id" not in record
+
+
 class TestContextRestores:
     def test_nested_contexts(self):
         outer, inner = io.StringIO(), io.StringIO()

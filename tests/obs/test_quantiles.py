@@ -1,0 +1,160 @@
+"""P² streaming quantiles vs exact percentiles; bucket boundaries."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import Histogram, _P2Quantile
+
+
+def estimate(stream, q):
+    est = _P2Quantile(q)
+    for value in stream:
+        est.observe(value)
+    return est.estimate
+
+
+def rank_of(stream, value):
+    """Fraction of the stream at or below ``value``."""
+    return sum(1 for v in stream if v <= value) / len(stream)
+
+
+class TestP2Exact:
+    """Below five observations the estimator interpolates exactly."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_small_streams_match_numpy(self, n, q):
+        rng = random.Random(n * 100 + int(q * 100))
+        stream = [rng.random() for _ in range(n)]
+        assert estimate(stream, q) == pytest.approx(
+            float(np.percentile(stream, q * 100.0))
+        )
+
+    def test_fifth_observation_initializes_median_marker(self):
+        # At five observations the markers take over; the central
+        # marker is the sample median regardless of q until the
+        # positions adjust.
+        stream = [5.0, 1.0, 4.0, 2.0, 3.0]
+        for q in (0.5, 0.95, 0.99):
+            assert estimate(stream, q) == 3.0
+
+    def test_empty_estimator_is_nan(self):
+        assert math.isnan(_P2Quantile(0.5).estimate)
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_out_of_open_interval_rejected(self, q):
+        with pytest.raises(ValueError):
+            _P2Quantile(q)
+
+
+class TestP2Adversarial:
+    """Streaming accuracy on streams chosen to stress the markers.
+
+    The estimate's *rank* (fraction of the stream at or below it) must
+    land near the requested quantile — a distribution-free check that
+    holds even where absolute error is hard to bound.
+    """
+
+    QS = (0.5, 0.95, 0.99)
+
+    def assert_rank_close(self, stream, tolerance=0.03):
+        for q in self.QS:
+            value = estimate(stream, q)
+            assert abs(rank_of(stream, value) - q) <= tolerance, (
+                f"q={q}: estimate {value} has rank "
+                f"{rank_of(stream, value)}"
+            )
+
+    def test_uniform_stream(self):
+        rng = random.Random(7)
+        self.assert_rank_close([rng.random() for _ in range(2000)])
+
+    def test_heavy_tailed_stream(self):
+        # Lognormal with sigma=2: the p99 is ~80x the median, the kind
+        # of tail serving latency actually has.
+        rng = random.Random(11)
+        self.assert_rank_close(
+            [rng.lognormvariate(0.0, 2.0) for _ in range(2000)]
+        )
+
+    def test_sorted_ascending_stream(self):
+        # Monotone input keeps every new value in the last cell —
+        # worst case for the marker update loop.
+        self.assert_rank_close([float(i) for i in range(1, 1001)])
+
+    def test_sorted_descending_stream(self):
+        self.assert_rank_close([float(i) for i in range(1000, 0, -1)])
+
+    def test_constant_stream_is_exact(self):
+        stream = [3.25] * 500
+        for q in self.QS:
+            assert estimate(stream, q) == 3.25
+
+    def test_bimodal_stream_picks_a_mode(self):
+        # 90% fast / 10% slow: parabolic interpolation must not invent
+        # values between the modes for extreme quantiles.
+        rng = random.Random(13)
+        stream = [0.001 if rng.random() < 0.9 else 1.0 for _ in range(2000)]
+        assert estimate(stream, 0.5) == pytest.approx(0.001, abs=1e-6)
+        assert estimate(stream, 0.99) == pytest.approx(1.0, abs=1e-6)
+
+    def test_ascending_matches_numpy_closely(self):
+        stream = [float(i) for i in range(1, 1001)]
+        for q in self.QS:
+            exact = float(np.percentile(stream, q * 100.0))
+            assert estimate(stream, q) == pytest.approx(exact, rel=0.01)
+
+
+class TestBucketBoundaries:
+    """``value <= bound`` bucket semantics, pinned at the edges."""
+
+    def test_value_on_bound_lands_in_that_bucket(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_value_just_above_bound_lands_in_next(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(math.nextafter(0.1, math.inf))
+        assert histogram.bucket_counts == [0, 1, 0]
+
+    def test_value_above_last_bound_lands_in_inf(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(5.0)
+        assert histogram.bucket_counts == [0, 0, 1]
+
+    def test_unsorted_bucket_bounds_are_sorted(self):
+        histogram = Histogram(buckets=(1.0, 0.1))
+        assert histogram.buckets == (0.1, 1.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_cumulative_buckets_monotone_and_end_at_count(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 2.0, 50.0, 0.01):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1] == (math.inf, histogram.count)
+
+    def test_exemplar_max_wins_per_bucket(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.2, exemplar="fast")
+        histogram.observe(0.9, exemplar="slower")
+        histogram.observe(0.5, exemplar="middling")
+        histogram.observe(3.0, exemplar="worst")
+        exemplars = histogram.bucket_exemplars()
+        assert exemplars[repr(1.0)] == {"exemplar": "slower", "value": 0.9}
+        assert exemplars["+Inf"] == {"exemplar": "worst", "value": 3.0}
+
+    def test_observation_without_exemplar_keeps_existing(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.2, exemplar="only")
+        histogram.observe(0.8)
+        assert histogram.bucket_exemplars()[repr(1.0)]["exemplar"] == "only"

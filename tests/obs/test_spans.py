@@ -1,5 +1,6 @@
 """Span timers: histogram recording, nesting, no-op fast path."""
 
+import threading
 import time
 
 from repro.obs.registry import MetricsRegistry, NullRegistry, use_registry
@@ -55,6 +56,27 @@ class TestNesting:
         paths = [record["path"] for record in recorder.records]
         assert "repro_root/repro_a" in paths
         assert "repro_root/repro_b" in paths
+
+    def test_threads_do_not_share_span_stacks(self):
+        # The current span lives in a contextvar: a span opened in one
+        # thread must never become the parent of another thread's span.
+        registry = MetricsRegistry()
+        recorder = SpanRecorder()
+        ready = threading.Event()
+
+        def worker():
+            assert current_span() is None
+            with span("repro_thread_b", registry=registry, recorder=recorder):
+                ready.set()
+
+        with span("repro_thread_a", registry=registry, recorder=recorder):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert ready.is_set()
+        paths = {record["name"]: record["path"] for record in recorder.records}
+        assert paths["repro_thread_b"] == "repro_thread_b"
+        assert paths["repro_thread_a"] == "repro_thread_a"
 
     def test_stack_unwinds_after_exception(self):
         registry = MetricsRegistry()

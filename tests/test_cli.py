@@ -136,6 +136,38 @@ class TestEndToEnd:
             outputs[serving] = capsys.readouterr().out
         assert outputs["indexed"] == outputs["loop"]
 
+    def test_loadgen_smoke_with_artifacts(self, tmp_path, capsys):
+        """A short traced run prints percentiles + attribution and
+        writes every artifact format."""
+        import json
+
+        trace_path = tmp_path / "traces.jsonl"
+        chrome_path = tmp_path / "chrome.json"
+        bench_path = tmp_path / "BENCH_serving.json"
+        assert main([
+            "loadgen", "--rate", "150", "--duration", "0.3",
+            "--pool-size", "120", "--workers", "2", "--seed", "4",
+            "--trace-out", str(trace_path),
+            "--chrome-out", str(chrome_path),
+            "--bench-out", str(bench_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "per-stage attribution" in out
+        assert "repro_index_gemv" in out
+        traces = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert traces and all(t["record"] == "trace" for t in traces)
+        chrome = json.loads(chrome_path.read_text())
+        assert chrome["traceEvents"], "chrome trace has events"
+        event = chrome["traceEvents"][0]
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        bench = json.loads(bench_path.read_text())
+        assert bench["bench"] == "serving_loadgen"
+        assert bench["points"][0]["latency_p99_ms"] > 0.0
+
+    def test_loadgen_rejects_bad_rate(self, capsys):
+        assert main(["loadgen", "--rate", "0", "--duration", "0.1"]) == 2
+        assert "rate" in capsys.readouterr().err
+
     def test_recommend_rejects_bad_top_k(self, tmp_path, capsys):
         dataset_path = str(tmp_path / "world.json.gz")
         main(["generate", "--scale", "small", "--seed", "5", "--out", dataset_path])

@@ -1,0 +1,183 @@
+"""Open-loop load harness: schedule, percentiles, report, saturation."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    LoadgenConfig,
+    append_bench_point,
+    format_report,
+    percentile,
+    run_load,
+)
+from repro.obs import MetricsRegistry, TailSampler, Tracer, use_registry, use_tracer
+
+
+class StubService:
+    """Constant-latency double for RepresentationService."""
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls: list[str] = []
+
+    def _work(self) -> None:
+        if self.delay:
+            time.sleep(self.delay)
+
+    def score(self, user, event):
+        self.calls.append("score")
+        self._work()
+        return 0.5
+
+    def rank_events(self, user, events, top_k=None):
+        self.calls.append("rank")
+        self._work()
+        return []
+
+    def rank_events_batch(self, users, events, top_k=None):
+        self.calls.append("rank_batch")
+        self._work()
+        return [[] for _ in users]
+
+
+USERS = ["u0", "u1", "u2"]
+EVENTS = ["e0", "e1", "e2", "e3"]
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0},
+            {"duration": -1.0},
+            {"workers": 0},
+            {"score_fraction": 1.5},
+            {"batch_users": 0},
+        ],
+    )
+    def test_bad_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadgenConfig(**kwargs)
+
+
+class TestRunLoad:
+    CONFIG = LoadgenConfig(
+        rate=400.0, duration=0.15, workers=2, score_fraction=0.25, seed=5
+    )
+
+    def test_report_counts_and_rates(self):
+        service = StubService()
+        report = run_load(service, USERS, EVENTS, self.CONFIG)
+        assert report.requests == len(service.calls) > 0
+        assert report.ops.get("rank", 0) + report.ops.get("score", 0) == (
+            report.requests
+        )
+        assert report.offered_rps == pytest.approx(
+            report.requests / self.CONFIG.duration
+        )
+        assert report.achieved_rps > 0.0
+        assert set(report.latency) == {"p50", "p95", "p99", "max", "mean"}
+
+    def test_same_seed_same_traffic(self):
+        first = run_load(StubService(), USERS, EVENTS, self.CONFIG)
+        second = run_load(StubService(), USERS, EVENTS, self.CONFIG)
+        assert first.requests == second.requests
+        assert first.ops == second.ops
+
+    def test_latency_includes_queue_wait(self):
+        # One worker + 5 ms of service per request at an offered rate
+        # far beyond 200/s: queue wait must show up in the scheduled
+        # arrival -> completion latency.
+        config = LoadgenConfig(
+            rate=2000.0, duration=0.05, workers=1, score_fraction=0.0, seed=1
+        )
+        report = run_load(StubService(delay=0.005), USERS, EVENTS, config)
+        assert report.requests > 5
+        assert report.latency["max"] > report.service["max"]
+        assert report.queue_wait["max"] > 0.0
+        assert report.saturated
+
+    def test_batch_users_routes_to_batch(self):
+        config = LoadgenConfig(
+            rate=300.0, duration=0.1, workers=2, score_fraction=0.0,
+            batch_users=3, seed=2,
+        )
+        service = StubService()
+        run_load(service, USERS, EVENTS, config)
+        assert set(service.calls) == {"rank_batch"}
+
+    def test_traced_run_attributes_and_records_trace_ids(self):
+        config = LoadgenConfig(
+            rate=300.0, duration=0.1, workers=2, score_fraction=0.0, seed=3
+        )
+        with use_registry(MetricsRegistry()):
+            with use_tracer(Tracer(TailSampler(keep_slowest=4))) as tracer:
+                report = run_load(StubService(), USERS, EVENTS, config)
+        assert report.attribution, "tracer installed => attribution rows"
+        stages = {row["stage"] for row in report.attribution}
+        assert "repro_loadgen_request" in stages
+        assert all(record.trace_id for record in report.records)
+        assert tracer.traces(), "slow traces retained"
+
+    def test_untraced_run_has_no_trace_ids(self):
+        report = run_load(StubService(), USERS, EVENTS, self.CONFIG)
+        assert report.attribution == []
+        assert all(record.trace_id is None for record in report.records)
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            run_load(StubService(), [], EVENTS, self.CONFIG)
+        with pytest.raises(ValueError):
+            run_load(StubService(), USERS, [], self.CONFIG)
+
+    def test_report_round_trips_to_json(self):
+        report = run_load(StubService(), USERS, EVENTS, self.CONFIG)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["requests"] == report.requests
+        assert payload["config"]["seed"] == self.CONFIG.seed
+
+    def test_format_report_mentions_percentiles(self):
+        report = run_load(StubService(), USERS, EVENTS, self.CONFIG)
+        text = format_report(report)
+        assert "p99" in text and "offered rate" in text
+
+
+class TestBenchTrajectory:
+    def test_append_creates_then_extends(self, tmp_path):
+        target = tmp_path / "BENCH_serving.json"
+        first = append_bench_point(target, {"latency_p99_ms": 5.0})
+        assert len(first["points"]) == 1
+        second = append_bench_point(target, {"latency_p99_ms": 4.0})
+        assert len(second["points"]) == 2
+        on_disk = json.loads(target.read_text())
+        assert on_disk["bench"] == "serving_loadgen"
+        assert [p["latency_p99_ms"] for p in on_disk["points"]] == [5.0, 4.0]
+
+    def test_bench_name_mismatch_raises(self, tmp_path):
+        target = tmp_path / "BENCH_other.json"
+        append_bench_point(target, {}, bench="other")
+        with pytest.raises(ValueError):
+            append_bench_point(target, {}, bench="serving_loadgen")
