@@ -644,3 +644,96 @@ class SpanNameGrammar(Rule):
                         "itself",
                     )
                     break
+
+
+# ----------------------------------------------------------------------
+# RPR109 — health/drift reserved metric families
+# ----------------------------------------------------------------------
+
+_RESERVED_FAMILIES = ("repro_health", "repro_drift")
+_VERDICT_UNIT_SUFFIXES = ("_seconds", "_bytes")
+
+
+def _reserved_family(name: str) -> str | None:
+    """The reserved family a metric name belongs to, if any."""
+    for family in _RESERVED_FAMILIES:
+        if name == family or name.startswith(family + "_"):
+            return family
+    return None
+
+
+@register_rule
+class HealthFamilyGrammar(Rule):
+    """RPR109: ``repro_health_*``/``repro_drift_*`` family contract.
+
+    These families carry *verdicts* — point-in-time gauges (plus
+    ``_total`` evaluation counters) written by
+    :mod:`repro.obs.health` and :mod:`repro.obs.drift` and consumed
+    by dashboards, SLO specs, and the bench-regression gate.  Three
+    things corrupt them: a histogram (verdicts are re-computed, not
+    accumulated — a histogram would average stale verdicts into
+    current ones); a unit suffix like ``_seconds`` (verdict values
+    are unitless scores, ratios, and flags — a unit implies raw
+    telemetry, which belongs in the base signal's own family); and a
+    span/stage name under the reserved prefix (the span layer appends
+    ``_seconds`` and would inject a latency histogram into the
+    family).  Base naming (lowercase, >= 3 segments, counters end
+    ``_total``) is RPR103's job; this rule adds only the
+    family-specific constraints.
+    """
+
+    code = "RPR109"
+    name = "health-family-grammar"
+    description = (
+        "repro_health_*/repro_drift_* are reserved verdict families: "
+        "gauges/counters only, no unit suffixes, no span names"
+    )
+    scopes = frozenset({"src"})
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            name = first.value
+            family = _reserved_family(name)
+            if family is None:
+                continue
+            callee = _call_name(node)
+            if callee in _SPAN_CALLS:
+                yield self.finding(
+                    context,
+                    first,
+                    f"{callee} name {name!r} uses the reserved verdict "
+                    f"family {family}_*; the span layer would append "
+                    "_seconds and inject a latency histogram into it — "
+                    "time the work under its own subsystem name",
+                )
+                continue
+            if callee not in _METRIC_METHODS:
+                continue
+            if callee == "histogram":
+                yield self.finding(
+                    context,
+                    first,
+                    f"histogram {name!r} in the reserved verdict family "
+                    f"{family}_*; verdicts are point-in-time gauges — "
+                    "record the underlying signal in its own family "
+                    "instead",
+                )
+                continue
+            for suffix in _VERDICT_UNIT_SUFFIXES:
+                if name.endswith(suffix):
+                    yield self.finding(
+                        context,
+                        first,
+                        f"{callee} name {name!r} carries the unit suffix "
+                        f"{suffix!r} inside the unitless verdict family "
+                        f"{family}_*; raw measurements belong in the "
+                        "base signal's family",
+                    )
+                    break

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the life cycle a downstream user needs:
+Nine subcommands cover the life cycle a downstream user needs:
 
 * ``repro-events generate`` — synthesize a dataset and save it;
 * ``repro-events train`` — train the joint representation model on a
@@ -13,7 +13,14 @@ Seven subcommands cover the life cycle a downstream user needs:
   telemetry file (written via ``--metrics-out``) as Prometheus text;
 * ``repro-events loadgen`` — drive open-loop Poisson traffic against
   a self-contained serving stack with request tracing, and report
-  latency percentiles + per-stage attribution;
+  latency percentiles, per-stage attribution, and an SLO health
+  verdict;
+* ``repro-events health`` — evaluate SLO specs against a telemetry
+  snapshot (or a fresh synthetic load run); exit 0 healthy, 1
+  breached;
+* ``repro-events bench-gate`` — compare a fresh loadgen report
+  against the committed ``BENCH_serving.json`` trajectory; exit 0
+  within tolerance, 1 regression;
 * ``repro-events analyze`` — run the project's static-analysis rules
   (``python -m repro.analysis`` behind a subcommand).
 
@@ -26,8 +33,11 @@ Examples::
         --user-id 3 --at-time 900 --top-k 5 --serving indexed
     repro-events experiment --scale small --tables 1 2
     repro-events metrics --telemetry telemetry.jsonl --exemplars
-    repro-events loadgen --rate 200 --duration 2 \\
+    repro-events loadgen --rate 200 --duration 2 --warmup 50 \\
         --chrome-out trace.json --bench-out BENCH_serving.json
+    repro-events health --telemetry telemetry.jsonl \\
+        --slo 'repro_cache_hit_rate>=0.9'
+    repro-events bench-gate --bench BENCH_serving.json --report report.json
     repro-events analyze src tests benchmarks --format json
 
 ``--metrics-out PATH`` (on ``train`` and ``experiment``) enables the
@@ -169,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="> 1 routes rank traffic through rank_events_batch")
     loadgen.add_argument("--score-fraction", type=float, default=0.2,
                          help="fraction of requests that are single-pair score calls")
+    loadgen.add_argument("--warmup", type=int, default=0,
+                         help="unmeasured warm-up requests issued before the "
+                         "open-loop schedule (excluded from all statistics)")
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--keep-slowest", type=int, default=16,
                          help="tail sampler: always retain the N slowest traces")
@@ -185,6 +198,62 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append a trajectory point to this BENCH_*.json")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of text")
+
+    health = commands.add_parser(
+        "health",
+        help="evaluate SLO health; exit 0 healthy, 1 breached",
+        description="Evaluate declarative SLO specs against a telemetry "
+        "snapshot (--telemetry) or against a fresh synthetic load run, "
+        "and print the verdict.  Exit status: 0 healthy, 1 breached, "
+        "2 usage error.",
+    )
+    health.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="JSONL telemetry file (written by --metrics-out) to "
+        "evaluate; omitted = run a short synthetic load first",
+    )
+    health.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="SLO spec '[name=]metric[{tag=value,...}][.stat]<=target' "
+        "(repeatable; default: the stock serving SLOs)",
+    )
+    health.add_argument("--rate", type=float, default=200.0,
+                        help="synthetic run: offered rate (req/s)")
+    health.add_argument("--duration", type=float, default=1.0,
+                        help="synthetic run: seconds of arrivals")
+    health.add_argument("--workers", type=int, default=4)
+    health.add_argument("--pool-size", type=int, default=500)
+    health.add_argument("--warmup", type=int, default=50,
+                        help="synthetic run: unmeasured warm-up requests")
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument("--json", action="store_true",
+                        help="print the verdict as JSON instead of text")
+    health.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the verdict JSON here (CI artifact)")
+
+    bench_gate = commands.add_parser(
+        "bench-gate",
+        help="gate a loadgen report against the bench trajectory",
+        description="Compare a fresh loadgen report (--report, the "
+        "`loadgen --json` output) against the committed BENCH_*.json "
+        "trajectory (--bench).  Baselines are medians over comparable "
+        "points (same workers and pool_size, unsaturated).  Exit "
+        "status: 0 within tolerance, 1 regression, 2 usage error.",
+    )
+    bench_gate.add_argument("--bench", required=True, metavar="PATH",
+                            help="committed BENCH_*.json trajectory")
+    bench_gate.add_argument("--report", required=True, metavar="PATH",
+                            help="candidate report JSON (loadgen --json)")
+    bench_gate.add_argument("--p50-tolerance", type=float, default=3.0,
+                            help="p50 bound = baseline median x this")
+    bench_gate.add_argument("--p95-tolerance", type=float, default=3.0,
+                            help="p95 bound = baseline median x this")
+    bench_gate.add_argument("--p99-tolerance", type=float, default=5.0,
+                            help="p99 bound = baseline median x this")
+    bench_gate.add_argument("--rps-tolerance", type=float, default=0.5,
+                            help="throughput floor = baseline median x this")
+    bench_gate.add_argument("--json", action="store_true",
+                            help="print the gate result as JSON")
 
     analyze = commands.add_parser(
         "analyze",
@@ -404,11 +473,11 @@ def _cmd_metrics(args) -> int:
 
 def _cmd_loadgen(args) -> int:
     import json
-    import time
 
     from repro.loadgen import (
         LoadgenConfig,
         append_bench_point,
+        bench_point,
         build_synthetic_service,
         format_report,
         run_load,
@@ -429,6 +498,7 @@ def _cmd_loadgen(args) -> int:
             top_k=args.top_k,
             score_fraction=args.score_fraction,
             batch_users=args.batch_users,
+            warmup=args.warmup,
             seed=args.seed,
         )
     except ValueError as error:
@@ -470,26 +540,146 @@ def _cmd_loadgen(args) -> int:
             writer.write_snapshot(registry, command="loadgen")
         print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
     if args.bench_out:
-        point = {
-            "date": time.strftime("%Y-%m-%d", time.gmtime()),
-            "rate": config.rate,
-            "duration": config.duration,
-            "workers": config.workers,
-            "pool_size": args.pool_size,
-            "requests": report.requests,
-            "achieved_rps": round(report.achieved_rps, 2),
-            "saturated": report.saturated,
-            "latency_p50_ms": round(report.latency["p50"] * 1e3, 3),
-            "latency_p95_ms": round(report.latency["p95"] * 1e3, 3),
-            "latency_p99_ms": round(report.latency["p99"] * 1e3, 3),
-        }
-        document = append_bench_point(args.bench_out, point)
+        document = append_bench_point(
+            args.bench_out, bench_point(report.as_dict())
+        )
         print(
             f"trajectory point {len(document['points'])} appended to "
             f"{args.bench_out}",
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.obs.health import (
+        HealthMonitor,
+        default_serving_slos,
+        format_health,
+        parse_slo,
+    )
+
+    try:
+        slos = (
+            tuple(parse_slo(text) for text in args.slo)
+            if args.slo
+            else default_serving_slos()
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.telemetry is not None:
+        try:
+            snapshot = last_snapshot(args.telemetry)
+        except FileNotFoundError:
+            print(
+                f"error: telemetry file not found: {args.telemetry}",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        verdict = HealthMonitor(slos).evaluate(snapshot)
+    else:
+        from repro.loadgen import (
+            LoadgenConfig,
+            build_synthetic_service,
+            run_load,
+        )
+
+        try:
+            config = LoadgenConfig(
+                rate=args.rate,
+                duration=args.duration,
+                workers=args.workers,
+                warmup=args.warmup,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"running synthetic load (pool={args.pool_size}, "
+            f"{config.duration:.1f} s) ...",
+            file=sys.stderr,
+        )
+        service, users, events = build_synthetic_service(
+            seed=args.seed, pool_size=args.pool_size
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            report = run_load(
+                service, users, events, config, registry=registry, slos=slos
+            )
+        verdict = report.health
+        if verdict is None:  # pragma: no cover - registry always enabled here
+            print("error: no health verdict produced", file=sys.stderr)
+            return 2
+
+    if args.json:
+        print(json.dumps(verdict.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_health(verdict))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(verdict.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"health report written to {args.out}", file=sys.stderr)
+    return 0 if verdict.healthy else 1
+
+
+def _cmd_bench_gate(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.loadgen import (
+        GateTolerances,
+        bench_point,
+        check_bench_regression,
+        format_gate,
+    )
+
+    try:
+        document = json.loads(Path(args.bench).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: bench file not found: {args.bench}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: bad bench JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = json.loads(Path(args.report).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: report file not found: {args.report}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: bad report JSON: {error}", file=sys.stderr)
+        return 2
+    try:
+        tolerances = GateTolerances(
+            latency_p50_ms=args.p50_tolerance,
+            latency_p95_ms=args.p95_tolerance,
+            latency_p99_ms=args.p99_tolerance,
+            achieved_rps=args.rps_tolerance,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Accept either a raw loadgen report (has "latency") or an
+    # already-flattened bench point (has "latency_p99_ms").
+    candidate = bench_point(report) if "latency" in report else report
+    result = check_bench_regression(document, candidate, tolerances)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_gate(result))
+    return 0 if result.ok else 1
 
 
 def _cmd_analyze(args) -> int:
@@ -514,6 +704,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "metrics": _cmd_metrics,
     "loadgen": _cmd_loadgen,
+    "health": _cmd_health,
+    "bench-gate": _cmd_bench_gate,
     "analyze": _cmd_analyze,
 }
 

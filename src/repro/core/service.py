@@ -42,12 +42,13 @@ import numpy as np
 from repro.core.model import JointUserEventModel
 from repro.entities import Event, User
 from repro.nn.cosine import pair_cosine
+from repro.obs.drift import DriftMonitor
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import span
 from repro.store.cache import VectorCache
 from repro.store.index import EventIndex, top_k_order
 
-__all__ = ["ScoredEvent", "RepresentationService"]
+__all__ = ["ScoredEvent", "ServingMonitors", "RepresentationService"]
 
 # Candidate-pool sizes are counts, not latencies: linear-ish buckets.
 _CANDIDATE_BUCKETS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000, 10000)
@@ -92,6 +93,59 @@ def _validate_top_k(top_k: int | None) -> int | None:
     return top_k
 
 
+class ServingMonitors:
+    """Drift monitors over the serving-path model-output distributions.
+
+    Three signals the latency telemetry cannot see:
+
+    * ``serving_scores`` — the scores actually returned to callers
+      (top-K of every ranking plus single-pair ``score`` calls).  A
+      shift here means the model's notion of a good match moved — the
+      first symptom of index staleness or a bad model swap.
+    * ``serving_candidates`` — per-request candidate-pool size after
+      activity filtering; events expiring en masse shrink it long
+      before latency notices.
+    * ``serving_user_norms`` — L2 norms of served user vectors; a
+      shifted norm distribution is the classic symptom of an
+      embedding-space drift after incremental retraining.
+
+    Observation is an O(1) append, gated on ``registry.enabled`` by
+    the service; verdicts are computed (and exported as
+    ``repro_drift_*`` gauges) only at snapshot time via the service's
+    pull collector.
+    """
+
+    def __init__(
+        self,
+        scores: DriftMonitor | None = None,
+        candidates: DriftMonitor | None = None,
+        user_norms: DriftMonitor | None = None,
+    ) -> None:
+        self.scores = scores if scores is not None else DriftMonitor(
+            "serving_scores", warmup=256, window=256
+        )
+        self.candidates = candidates if candidates is not None else DriftMonitor(
+            "serving_candidates", warmup=64, window=64, bins=5, min_live=16
+        )
+        self.user_norms = user_norms if user_norms is not None else DriftMonitor(
+            "serving_user_norms", warmup=128, window=128
+        )
+
+    @property
+    def all(self) -> tuple[DriftMonitor, ...]:
+        return (self.scores, self.candidates, self.user_norms)
+
+    def rebaseline(self) -> None:
+        """After an intentional change (model swap, pool rebuild)."""
+        for monitor in self.all:
+            monitor.rebaseline()
+
+    def collect(self, registry: MetricsRegistry) -> None:
+        """Pull-style export of every monitor's current verdict."""
+        for monitor in self.all:
+            monitor.export(registry)
+
+
 class RepresentationService:
     """Cached user/event encoding and indexed cosine ranking."""
 
@@ -105,6 +159,7 @@ class RepresentationService:
         registry: MetricsRegistry | None = None,
         index: EventIndex | None = None,
         serving: str = "indexed",
+        monitors: ServingMonitors | None = None,
     ):
         if serving not in _SERVING_MODES:
             raise ValueError(
@@ -114,6 +169,7 @@ class RepresentationService:
         self.cache = cache if cache is not None else VectorCache()
         self.index = index if index is not None else EventIndex()
         self.serving = serving
+        self.monitors = monitors if monitors is not None else ServingMonitors()
         self._index_rebuilds = 0
         # None → resolve the global registry at call time, so telemetry
         # enabled after construction is still picked up.
@@ -122,6 +178,7 @@ class RepresentationService:
         # on identity, so per-request re-registration stays lock-free.
         self._cache_collector = self._collect_cache_metrics
         self._index_collector = self._collect_index_metrics
+        self._drift_collector = self.monitors.collect
 
     # ------------------------------------------------------------------
     # telemetry
@@ -135,6 +192,9 @@ class RepresentationService:
             )
             registry.register_collector(
                 f"repro_index:{id(self.index)}", self._index_collector
+            )
+            registry.register_collector(
+                f"repro_drift:{id(self.monitors)}", self._drift_collector
             )
         return registry
 
@@ -190,11 +250,18 @@ class RepresentationService:
             }
         )
 
+    def _observe_user_norm(self, vector: np.ndarray) -> None:
+        """Feed the served user-vector norm to the drift monitor."""
+        registry = self._registry if self._registry is not None else get_registry()
+        if registry.enabled:
+            self.monitors.user_norms.observe(float(np.sqrt(vector @ vector)))
+
     def user_vector(self, user: User) -> np.ndarray:
         """v_u, from cache when current, recomputed otherwise."""
         version = self.user_version(user)
         cached = self.cache.get(self.USER_KIND, user.user_id, version)
         if cached is not None:
+            self._observe_user_norm(cached)
             return cached
         registry = self._obs()
         with span(
@@ -205,6 +272,7 @@ class RepresentationService:
             encoded = self.model.encoder.encode_user(user)
             vector = self.model.encode_users([encoded])[0]
         self.cache.put(self.USER_KIND, user.user_id, version, vector)
+        self._observe_user_norm(vector)
         return vector
 
     def event_vector(self, event: Event) -> np.ndarray:
@@ -370,7 +438,10 @@ class RepresentationService:
         """
         registry = self._registry if self._registry is not None else get_registry()
         with span("repro_serving_score", registry=registry):
-            return pair_cosine(self.user_vector(user), self.event_vector(event))
+            value = pair_cosine(self.user_vector(user), self.event_vector(event))
+        if registry.enabled:
+            self.monitors.scores.observe(value)
+        return value
 
     def rank_events(
         self,
@@ -420,6 +491,10 @@ class RepresentationService:
             registry.histogram(
                 "repro_serving_candidates", buckets=_CANDIDATE_BUCKETS
             ).observe(num_candidates)
+            self.monitors.candidates.observe(float(num_candidates))
+            scores_monitor = self.monitors.scores
+            for item in scored:
+                scores_monitor.observe(item.score)
         return scored
 
     def _rank_events_loop(
@@ -512,6 +587,11 @@ class RepresentationService:
             registry.histogram(
                 "repro_serving_candidates", buckets=_CANDIDATE_BUCKETS
             ).observe(len(events))
+            self.monitors.candidates.observe(float(len(events)))
+            scores_monitor = self.monitors.scores
+            for ranking in results:
+                for item in ranking:
+                    scores_monitor.observe(item.score)
         return results
 
     def _rank_events_batch(

@@ -8,6 +8,7 @@ the best-validation parameters when stopping.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -18,6 +19,7 @@ from repro.core.config import TrainingConfig
 from repro.core.model import JointUserEventModel
 from repro.nn.losses import contrastive_loss
 from repro.nn.optim import SGD, Adagrad, ExponentialDecay, Optimizer
+from repro.obs.drift import DriftMonitor, DriftThresholds
 from repro.obs.log import get_logger
 from repro.obs.registry import get_registry
 from repro.obs.spans import span
@@ -143,6 +145,29 @@ class RepresentationTrainer:
         epochs_since_best = 0
 
         registry = get_registry()
+        # Per-epoch shift detectors: the first epochs form the
+        # reference, later epochs the live window.  Only the *upward*
+        # mean-shift detector is armed — loss and gradient norms
+        # falling is convergence, rising is divergence (or an
+        # exploding update); PSI/KS are meaningless over a handful of
+        # epoch scalars and stay disabled.
+        shift_monitors: tuple[DriftMonitor, ...] = ()
+        if registry.enabled:
+            thresholds = DriftThresholds(
+                psi=math.inf, ks=math.inf, mean_sigmas=3.0, var_ratio=math.inf
+            )
+            shift_monitors = tuple(
+                DriftMonitor(
+                    name,
+                    warmup=3,
+                    window=3,
+                    bins=2,
+                    min_live=2,
+                    thresholds=thresholds,
+                    direction="up",
+                )
+                for name in ("train_loss", "train_grad_norm")
+            )
         event_lengths = np.array(
             [event.text_ids.shape[0] for event in train_events]
         )
@@ -211,6 +236,26 @@ class RepresentationTrainer:
                 registry.gauge("repro_train_learning_rate").set(rate)
                 registry.gauge("repro_train_grad_norm").set(grad_norm)
                 registry.counter("repro_train_epochs_total").inc()
+                for monitor, value in zip(
+                    shift_monitors, (mean_train_loss, grad_norm)
+                ):
+                    if not math.isfinite(value):
+                        continue
+                    monitor.observe(value)
+                    monitor.export(registry)
+                    result = monitor.result()
+                    if result.drifted:
+                        registry.counter(
+                            "repro_train_drift_total",
+                            tags={"signal": monitor.name},
+                        ).inc()
+                        _log.warning(
+                            "train_shift",
+                            signal=monitor.name,
+                            epoch=epoch + 1,
+                            mean_zscore=round(result.mean_zscore, 3),
+                            value=round(value, 6),
+                        )
             if self.config.log_every and (epoch + 1) % self.config.log_every == 0:
                 _log.info(
                     "epoch",

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import platform
 import random
+import statistics
+import subprocess
 import time
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,6 +42,13 @@ from repro.core.service import RepresentationService
 from repro.datagen.config import DataConfig
 from repro.datagen.dataset import build_dataset
 from repro.entities import Event, User
+from repro.obs.health import (
+    HealthMonitor,
+    HealthSnapshot,
+    SLOSpec,
+    default_serving_slos,
+    format_health,
+)
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import span
 from repro.obs.trace import Tracer, get_tracer
@@ -53,6 +63,13 @@ __all__ = [
     "build_synthetic_service",
     "format_report",
     "append_bench_point",
+    "bench_point",
+    "git_commit",
+    "GateTolerances",
+    "GateCheck",
+    "GateResult",
+    "check_bench_regression",
+    "format_gate",
 ]
 
 
@@ -66,7 +83,12 @@ class LoadgenConfig:
     requests are single-pair ``score`` calls, the rest are
     ``rank_events`` over the full candidate pool (or
     ``rank_events_batch`` over ``batch_users`` users when that is
-    > 1).  Everything is driven by ``seed``.
+    > 1).  ``warmup`` requests are issued *before* the open-loop
+    schedule starts and are excluded from every summary statistic —
+    they exist to fill caches and JIT-warm the allocator so the
+    measured window reflects steady state, not cold start.
+    Everything is driven by ``seed``; the warm-up phase draws from an
+    offset rng so enabling it never perturbs the measured traffic.
     """
 
     rate: float = 200.0
@@ -75,6 +97,7 @@ class LoadgenConfig:
     top_k: int = 10
     score_fraction: float = 0.2
     batch_users: int = 1
+    warmup: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -90,6 +113,8 @@ class LoadgenConfig:
             )
         if self.batch_users < 1:
             raise ValueError(f"batch_users must be >= 1, got {self.batch_users}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
 
 
 @dataclass(frozen=True)
@@ -150,6 +175,9 @@ class LoadReport:
     saturated: bool
     attribution: list[dict[str, float | str]] = field(default_factory=list)
     records: tuple[RequestRecord, ...] = ()
+    pool_size: int = 0
+    warmup_excluded: int = 0
+    health: HealthSnapshot | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able view (drops the raw per-request records)."""
@@ -165,6 +193,9 @@ class LoadReport:
             "ops": dict(self.ops),
             "saturated": self.saturated,
             "attribution": [dict(row) for row in self.attribution],
+            "pool_size": self.pool_size,
+            "warmup_excluded": self.warmup_excluded,
+            "health": self.health.as_dict() if self.health is not None else None,
         }
 
 
@@ -178,12 +209,33 @@ def _summary(values: Sequence[float]) -> dict[str, float]:
     }
 
 
+def _export_report_gauges(
+    registry: MetricsRegistry,
+    latency: Mapping[str, float],
+    queue_wait: Mapping[str, float],
+    achieved_rps: float,
+    saturated: bool,
+) -> None:
+    """Publish the report's headline numbers as ``repro_loadgen_*``
+    gauges so SLO specs (and any scraper) can read them."""
+    for stat in ("p50", "p95", "p99", "max", "mean"):
+        registry.gauge(
+            "repro_loadgen_latency_seconds", tags={"stat": stat}
+        ).set(latency[stat])
+        registry.gauge(
+            "repro_loadgen_queue_wait_seconds", tags={"stat": stat}
+        ).set(queue_wait[stat])
+    registry.gauge("repro_loadgen_achieved_rps").set(achieved_rps)
+    registry.gauge("repro_loadgen_saturated").set(1.0 if saturated else 0.0)
+
+
 def run_load(
     service: RepresentationService,
     users: Sequence[User],
     events: Sequence[Event],
     config: LoadgenConfig,
     registry: MetricsRegistry | None = None,
+    slos: Sequence[SLOSpec] | None = None,
 ) -> LoadReport:
     """Drive one open-loop run and summarize it.
 
@@ -193,6 +245,12 @@ def run_load(
     Each request runs under a ``repro_loadgen_request`` root span in
     its worker thread, so with a tracer every request becomes its own
     trace.
+
+    With a live registry the report also carries a health verdict:
+    the run's headline numbers are exported as ``repro_loadgen_*``
+    gauges and evaluated against ``slos`` (default:
+    :func:`~repro.obs.health.default_serving_slos`), together with
+    any drift monitors the service carries.
     """
     if not users:
         raise ValueError("need at least one user")
@@ -200,6 +258,28 @@ def run_load(
         raise ValueError("need at least one event")
     registry = registry if registry is not None else get_registry()
     rng = random.Random(config.seed)
+
+    def dispatch(op: str, user_pos: int) -> None:
+        user = users[user_pos]
+        if op == "score":
+            service.score(user, events[user_pos % len(events)])
+        elif config.batch_users > 1:
+            cohort = [
+                users[(user_pos + offset) % len(users)]
+                for offset in range(config.batch_users)
+            ]
+            service.rank_events_batch(cohort, events, top_k=config.top_k)
+        else:
+            service.rank_events(user, events, top_k=config.top_k)
+
+    # Warm-up: sequential, unmeasured, drawn from an *offset* rng so
+    # the measured schedule below is byte-identical with warmup=0.
+    # No loadgen span either — the repro_loadgen_* histograms must
+    # only ever contain measured traffic.
+    warmup_rng = random.Random(config.seed + 1_000_003)
+    for _ in range(config.warmup):
+        op = "score" if warmup_rng.random() < config.score_fraction else "rank"
+        dispatch(op, warmup_rng.randrange(len(users)))
 
     # Draw the full open-loop schedule up front: arrival offsets plus
     # per-request operation and user choice, all from one seeded rng.
@@ -221,20 +301,10 @@ def run_load(
 
     def execute(index: int, scheduled: float, op: str, user_pos: int) -> RequestRecord:
         started = now()
-        user = users[user_pos]
         with span(
             "repro_loadgen_request", tags={"op": op}, registry=registry
         ) as root:
-            if op == "score":
-                service.score(user, events[user_pos % len(events)])
-            elif config.batch_users > 1:
-                cohort = [
-                    users[(user_pos + offset) % len(users)]
-                    for offset in range(config.batch_users)
-                ]
-                service.rank_events_batch(cohort, events, top_k=config.top_k)
-            else:
-                service.rank_events(user, events, top_k=config.top_k)
+            dispatch(op, user_pos)
         return RequestRecord(
             index=index,
             op=op,
@@ -270,19 +340,38 @@ def run_load(
     # beyond one in-flight request draining.
     saturated = achieved < 0.9 * offered
     attribution = tracer.attribution() if tracer is not None else []
+
+    latency_summary = _summary(latencies)
+    queue_summary = _summary(waits)
+    health: HealthSnapshot | None = None
+    if registry.enabled:
+        _export_report_gauges(
+            registry, latency_summary, queue_summary, achieved, saturated
+        )
+        specs = tuple(slos) if slos is not None else default_serving_slos()
+        monitors = getattr(service, "monitors", None)
+        drift_monitors = tuple(monitors.all) if monitors is not None else ()
+        if specs or drift_monitors:
+            monitor = HealthMonitor(specs, drift_monitors)
+            health = monitor.evaluate(registry.snapshot())
+            monitor.export(health, registry)
+
     return LoadReport(
         config=config,
         requests=len(records),
         wall_seconds=wall,
         offered_rps=offered,
         achieved_rps=achieved,
-        latency=_summary(latencies),
+        latency=latency_summary,
         service=_summary(services),
-        queue_wait=_summary(waits),
+        queue_wait=queue_summary,
         ops=ops,
         saturated=saturated,
         attribution=attribution,
         records=records,
+        pool_size=len(events),
+        warmup_excluded=config.warmup,
+        health=health,
     )
 
 
@@ -329,6 +418,13 @@ def format_report(report: LoadReport) -> str:
         f"offered rate:  {report.offered_rps:.1f} req/s",
         f"achieved rate: {report.achieved_rps:.1f} req/s"
         + ("  [SATURATED]" if report.saturated else ""),
+    ]
+    if report.warmup_excluded:
+        lines.append(
+            f"warmup:        {report.warmup_excluded} requests issued, "
+            "excluded from all statistics"
+        )
+    lines += [
         "",
         f"{'':<12} {'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'max ms':>9}",
     ]
@@ -346,6 +442,8 @@ def format_report(report: LoadReport) -> str:
 
         lines += ["", "per-stage attribution (from traces):"]
         lines.append(format_attribution(report.attribution))
+    if report.health is not None:
+        lines += ["", format_health(report.health)]
     return "\n".join(lines)
 
 
@@ -374,3 +472,248 @@ def append_bench_point(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return document
+
+
+def git_commit(default: str = "unknown") -> str:
+    """Short hash of the checked-out commit, or ``default``.
+
+    Benchmark points are only comparable when you know what code
+    produced them; a missing git binary or a non-repo cwd degrades to
+    ``default`` rather than failing the run.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    if proc.returncode != 0:
+        return default
+    commit = proc.stdout.strip()
+    return commit if commit else default
+
+
+def bench_point(
+    report: Mapping[str, Any], date: str | None = None
+) -> dict[str, Any]:
+    """Build one ``BENCH_serving.json`` trajectory point.
+
+    Flattens a :meth:`LoadReport.as_dict` report into the compact
+    point schema the bench trajectory stores, stamped with the
+    provenance the regression gate and any human reader need: the
+    run date, the git commit, and the Python version.
+    """
+    config: Mapping[str, Any] = report.get("config", {})
+    point: dict[str, Any] = {
+        "date": date
+        if date is not None
+        else time.strftime("%Y-%m-%d", time.gmtime()),
+        "commit": git_commit(),
+        "python": platform.python_version(),
+        "workers": config.get("workers"),
+        "rate": config.get("rate"),
+        "duration": config.get("duration"),
+        "warmup": config.get("warmup", 0),
+        "pool_size": report.get("pool_size", 0),
+        "requests": report["requests"],
+        "achieved_rps": round(float(report["achieved_rps"]), 2),
+        "saturated": bool(report["saturated"]),
+        "latency_p50_ms": round(float(report["latency"]["p50"]) * 1e3, 3),
+        "latency_p95_ms": round(float(report["latency"]["p95"]) * 1e3, 3),
+        "latency_p99_ms": round(float(report["latency"]["p99"]) * 1e3, 3),
+    }
+    health = report.get("health")
+    if health is not None:
+        point["health"] = {
+            "healthy": bool(health["healthy"]),
+            "breached": list(health["breached"]),
+        }
+    return point
+
+
+# -- bench-regression gate -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateTolerances:
+    """Per-metric tolerance bands for the regression gate.
+
+    Latency tolerances are *multipliers on the baseline median* a
+    candidate may not exceed; ``achieved_rps`` is the *fraction of
+    the baseline median* a candidate must still reach.  Defaults are
+    deliberately loose — CI runners are noisy shared machines and a
+    gate that cries wolf gets deleted; the gate exists to catch
+    order-of-magnitude regressions, not 10% jitter.
+    """
+
+    latency_p50_ms: float = 3.0
+    latency_p95_ms: float = 3.0
+    latency_p99_ms: float = 5.0
+    achieved_rps: float = 0.5
+
+    def __post_init__(self) -> None:
+        for metric in (
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "achieved_rps",
+        ):
+            if getattr(self, metric) <= 0.0:
+                raise ValueError(f"{metric} tolerance must be > 0")
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One metric's comparison against the trajectory baseline."""
+
+    metric: str
+    baseline: float
+    bound: float
+    candidate: float
+    ok: bool
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "baseline": round(self.baseline, 4),
+            "bound": round(self.bound, 4),
+            "candidate": round(self.candidate, 4),
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The gate's verdict over every checked metric."""
+
+    ok: bool
+    checks: tuple[GateCheck, ...]
+    compared: int
+    reason: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "compared": self.compared,
+            "reason": self.reason,
+            "checks": [check.as_dict() for check in self.checks],
+        }
+
+
+_GATE_LATENCY_METRICS = (
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+)
+
+
+def check_bench_regression(
+    document: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    tolerances: GateTolerances | None = None,
+) -> GateResult:
+    """Compare a fresh bench point against the committed trajectory.
+
+    Baselines are the *medians* over comparable points — same
+    ``workers`` and ``pool_size``, not saturated — so one historical
+    outlier cannot poison the gate.  A candidate passes when every
+    latency percentile stays under ``median * tolerance`` and
+    throughput stays above ``median * tolerance``.  With no
+    comparable history the gate passes vacuously (first run on a new
+    configuration seeds the trajectory); a saturated candidate fails
+    outright — saturation at a rate the trajectory handled *is* the
+    regression.
+    """
+    tolerances = tolerances if tolerances is not None else GateTolerances()
+    points = list(document.get("points", []))
+    comparable = [
+        point
+        for point in points
+        if point.get("workers") == candidate.get("workers")
+        and point.get("pool_size") == candidate.get("pool_size")
+        and not point.get("saturated", False)
+    ]
+    if not comparable:
+        return GateResult(
+            ok=True,
+            checks=(),
+            compared=0,
+            reason="no comparable trajectory points "
+            "(matching workers/pool_size, unsaturated); gate passes vacuously",
+        )
+    if candidate.get("saturated", False):
+        return GateResult(
+            ok=False,
+            checks=(),
+            compared=len(comparable),
+            reason="candidate run saturated at a rate the trajectory handled",
+        )
+    checks: list[GateCheck] = []
+    for metric in _GATE_LATENCY_METRICS:
+        history = [
+            float(point[metric]) for point in comparable if metric in point
+        ]
+        if not history or metric not in candidate:
+            continue
+        baseline = statistics.median(history)
+        bound = baseline * getattr(tolerances, metric)
+        value = float(candidate[metric])
+        checks.append(
+            GateCheck(
+                metric=metric,
+                baseline=baseline,
+                bound=bound,
+                candidate=value,
+                ok=value <= bound,
+            )
+        )
+    history = [
+        float(point["achieved_rps"])
+        for point in comparable
+        if "achieved_rps" in point
+    ]
+    if history and "achieved_rps" in candidate:
+        baseline = statistics.median(history)
+        bound = baseline * tolerances.achieved_rps
+        value = float(candidate["achieved_rps"])
+        checks.append(
+            GateCheck(
+                metric="achieved_rps",
+                baseline=baseline,
+                bound=bound,
+                candidate=value,
+                ok=value >= bound,
+            )
+        )
+    return GateResult(
+        ok=all(check.ok for check in checks),
+        checks=tuple(checks),
+        compared=len(comparable),
+    )
+
+
+def format_gate(result: GateResult) -> str:
+    """Human-readable gate verdict table."""
+    lines = [
+        f"bench gate: {'PASS' if result.ok else 'FAIL'} "
+        f"({result.compared} comparable trajectory points)",
+    ]
+    if result.reason:
+        lines.append(f"  {result.reason}")
+    if result.checks:
+        lines += [
+            "",
+            f"{'metric':<18} {'baseline':>10} {'bound':>10} "
+            f"{'candidate':>10}  verdict",
+        ]
+        for check in result.checks:
+            lines.append(
+                f"{check.metric:<18} {check.baseline:>10.3f} "
+                f"{check.bound:>10.3f} {check.candidate:>10.3f}  "
+                f"{'ok' if check.ok else 'REGRESSION'}"
+            )
+    return "\n".join(lines)

@@ -15,7 +15,13 @@ Section 4.  Five pieces:
   ``{ts, level, event, logger, tags}`` schema (plus
   ``trace_id``/``span_id`` when emitted inside a traced span);
 * :mod:`repro.obs.export` — JSONL telemetry files and the Prometheus
-  text format (optionally with OpenMetrics exemplar suffixes).
+  text format (optionally with OpenMetrics exemplar suffixes);
+* :mod:`repro.obs.drift` — reference-vs-live window drift detection
+  (PSI, two-sample KS, mean/variance shift) over streaming monitors
+  and registry histograms;
+* :mod:`repro.obs.health` — declarative SLO specs evaluated as
+  multi-window error-budget burn rates, folded into a
+  :class:`HealthSnapshot` exported as ``repro_health_*`` gauges.
 
 Metric naming convention: ``repro_<subsystem>_<name>_<unit>`` —
 ``repro_serving_encode_seconds``, ``repro_cache_hits_total``,
@@ -31,12 +37,31 @@ with :func:`use_registry`; turn tracing on per scope with
 :func:`use_tracer`.
 """
 
+from repro.obs.drift import (
+    DriftMonitor,
+    DriftResult,
+    DriftThresholds,
+    HistogramBaseline,
+    ks_statistic,
+    mean_shift_zscore,
+    psi,
+)
 from repro.obs.export import (
     TelemetryWriter,
     last_snapshot,
     read_telemetry,
     render_prometheus,
     snapshot_record,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    HealthSnapshot,
+    SLOSpec,
+    SLOStatus,
+    SLOTracker,
+    default_serving_slos,
+    format_health,
+    parse_slo,
 )
 from repro.obs.log import StructuredLogger, configure, get_logger, log_context
 from repro.obs.registry import (
@@ -112,4 +137,19 @@ __all__ = [
     "snapshot_record",
     "read_telemetry",
     "last_snapshot",
+    "DriftMonitor",
+    "DriftResult",
+    "DriftThresholds",
+    "HistogramBaseline",
+    "psi",
+    "ks_statistic",
+    "mean_shift_zscore",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOTracker",
+    "default_serving_slos",
+    "parse_slo",
+    "format_health",
 ]

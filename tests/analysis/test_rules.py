@@ -14,6 +14,7 @@ import pytest
         "rpr106_good.pytxt",
         "rpr107_good.pytxt",
         "rpr108_good.pytxt",
+        "rpr109_good.pytxt",
         "rpr201_good.pytxt",
     ],
 )
@@ -32,6 +33,7 @@ def test_good_fixtures_are_clean(analyze_fixture, fixture):
         ("rpr106_bad.pytxt", "RPR106", 3),
         ("rpr107_bad.pytxt", "RPR107", 2),
         ("rpr108_bad.pytxt", "RPR108", 5),
+        ("rpr109_bad.pytxt", "RPR109", 5),
         ("rpr201_bad.pytxt", "RPR201", 1),
     ],
 )
@@ -68,6 +70,7 @@ class TestRuleScoping:
             "rpr104_bad.pytxt",   # pytest's assert contract
             "rpr105_bad.pytxt",   # exact float oracles
             "rpr108_bad.pytxt",   # stub span names allowed in tests
+            "rpr109_bad.pytxt",   # fake verdict metrics allowed in tests
         ],
     )
     def test_src_only_rules_skip_test_scope(self, analyze_fixture, fixture):

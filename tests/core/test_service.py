@@ -7,8 +7,9 @@ import pytest
 
 from repro.core.config import JointModelConfig
 from repro.core.model import JointUserEventModel
-from repro.core.service import RepresentationService
+from repro.core.service import RepresentationService, ServingMonitors
 from repro.entities import Event
+from repro.obs import MetricsRegistry
 from repro.store.cache import VectorCache
 from repro.text.documents import DocumentEncoder
 
@@ -409,3 +410,47 @@ class TestWarmSkipsFresh:
         service.cache.clear()
         service.warm(tiny_users, tiny_events)  # cold cache → re-encode, re-upsert
         assert len(service.index) == len(tiny_events)
+
+
+class TestServingMonitors:
+    def _observed_service(self, tiny_users, tiny_events):
+        encoder = DocumentEncoder.fit(tiny_users, tiny_events, min_df=1)
+        model = JointUserEventModel(JointModelConfig.small(seed=2), encoder)
+        registry = MetricsRegistry()
+        return registry, RepresentationService(
+            model, VectorCache(), registry=registry
+        )
+
+    def test_serving_calls_feed_monitors(self, tiny_users, tiny_events):
+        _, service = self._observed_service(tiny_users, tiny_events)
+        service.rank_events(tiny_users[0], tiny_events)
+        service.score(tiny_users[0], tiny_events[0])
+        # Every top-K score plus the pair score lands in the monitor.
+        assert service.monitors.scores.observed == len(tiny_events) + 1
+        assert service.monitors.candidates.observed == 1
+        assert service.monitors.user_norms.observed > 0
+
+    def test_snapshot_exports_drift_verdicts(self, tiny_users, tiny_events):
+        registry, service = self._observed_service(tiny_users, tiny_events)
+        service.rank_events(tiny_users[0], tiny_events)
+        exported = {
+            (record["name"], record["tags"].get("monitor"))
+            for record in registry.snapshot()
+        }
+        for monitor in ("serving_scores", "serving_candidates", "serving_user_norms"):
+            assert ("repro_drift_ok", monitor) in exported
+            assert ("repro_drift_live_samples", monitor) in exported
+
+    def test_disabled_registry_observes_nothing(
+        self, service, tiny_users, tiny_events
+    ):
+        service.rank_events(tiny_users[0], tiny_events)
+        service.score(tiny_users[0], tiny_events[0])
+        assert all(monitor.observed == 0 for monitor in service.monitors.all)
+
+    def test_rebaseline_restarts_every_monitor(self):
+        monitors = ServingMonitors()
+        monitors.scores.observe_many([1.0] * 600)
+        assert not monitors.scores.warming
+        monitors.rebaseline()
+        assert all(monitor.warming for monitor in monitors.all)

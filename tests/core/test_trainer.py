@@ -8,6 +8,7 @@ from repro.core.model import JointUserEventModel
 from repro.core.trainer import RepresentationTrainer
 from repro.datagen.topics import TopicModel
 from repro.entities import Event, User
+from repro.obs import MetricsRegistry, use_registry
 from repro.text.documents import DocumentEncoder
 
 
@@ -147,3 +148,53 @@ class TestFit:
         model = JointUserEventModel(JointModelConfig.small(seed=0), encoder)
         trainer = RepresentationTrainer(model, TrainingConfig(epochs=1))
         assert trainer.evaluate_loss([], [], np.array([])) == 0.0
+
+
+class TestTrainingShiftDetection:
+    def test_diverging_loss_increments_drift_counter(
+        self, separable_task, monkeypatch
+    ):
+        encoder, users, events, labels = separable_task
+        model = JointUserEventModel(JointModelConfig.small(seed=4), encoder)
+        # Script a 10x loss blow-up after the 3-epoch reference window:
+        # the upward mean-shift detector must flag it and bump the
+        # drift counter.  (The real loss is bounded, so a bad learning
+        # rate plateaus instead of climbing — scripting keeps the
+        # divergence shape deterministic.)
+        epoch_losses = iter([0.5, 0.5, 0.5, 5.0, 5.0, 5.0])
+        monkeypatch.setattr(
+            model, "train_step", lambda *args, **kwargs: next(epoch_losses)
+        )
+        trainer = RepresentationTrainer(
+            model,
+            TrainingConfig(
+                epochs=6,
+                batch_size=512,  # one batch per epoch
+                patience=20,
+                validation_fraction=0.0,
+                seed=0,
+            ),
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            trainer.fit(users, events, labels)
+            records = {
+                (record["name"], record["tags"].get("signal")): record
+                for record in registry.snapshot()
+            }
+        key = ("repro_train_drift_total", "train_loss")
+        assert key in records and records[key]["value"] >= 1
+
+    def test_converging_run_stays_quiet(self, separable_task):
+        encoder, users, events, labels = separable_task
+        model = JointUserEventModel(JointModelConfig.small(seed=0), encoder)
+        trainer = RepresentationTrainer(
+            model,
+            TrainingConfig(
+                epochs=8, batch_size=32, learning_rate=0.02, patience=20, seed=0
+            ),
+        )
+        with use_registry(MetricsRegistry()) as registry:
+            trainer.fit(users, events, labels)
+            names = {record["name"] for record in registry.snapshot()}
+        assert "repro_train_drift_total" not in names
+        assert "repro_train_epoch_loss" in names

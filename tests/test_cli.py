@@ -147,6 +147,7 @@ class TestEndToEnd:
         assert main([
             "loadgen", "--rate", "150", "--duration", "0.3",
             "--pool-size", "120", "--workers", "2", "--seed", "4",
+            "--warmup", "20",
             "--trace-out", str(trace_path),
             "--chrome-out", str(chrome_path),
             "--bench-out", str(bench_path),
@@ -154,6 +155,8 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "p99" in out and "per-stage attribution" in out
         assert "repro_index_gemv" in out
+        assert "warmup:        20 requests" in out
+        assert "health:" in out
         traces = [json.loads(line) for line in trace_path.read_text().splitlines()]
         assert traces and all(t["record"] == "trace" for t in traces)
         chrome = json.loads(chrome_path.read_text())
@@ -162,7 +165,11 @@ class TestEndToEnd:
         assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
         bench = json.loads(bench_path.read_text())
         assert bench["bench"] == "serving_loadgen"
-        assert bench["points"][0]["latency_p99_ms"] > 0.0
+        point = bench["points"][0]
+        assert point["latency_p99_ms"] > 0.0
+        assert point["commit"] and point["python"]
+        assert point["warmup"] == 20
+        assert "healthy" in point["health"]
 
     def test_loadgen_rejects_bad_rate(self, capsys):
         assert main(["loadgen", "--rate", "0", "--duration", "0.1"]) == 2
@@ -178,3 +185,153 @@ class TestEndToEnd:
                      "--bundle", bundle_path, "--user-id", "0",
                      "--at-time", "900", "--top-k", "-2"]) == 2
         assert "--top-k" in capsys.readouterr().err
+
+
+class TestHealthCommand:
+    def _write_telemetry(self, path, p99):
+        from repro.obs import MetricsRegistry, TelemetryWriter
+
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_loadgen_latency_seconds", tags={"stat": "p99"}
+        ).set(p99)
+        registry.gauge("repro_cache_hit_rate").set(0.97)
+        with TelemetryWriter(path) as writer:
+            writer.write_snapshot(registry)
+
+    def test_telemetry_mode_healthy_exits_zero(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.jsonl"
+        self._write_telemetry(telemetry, p99=0.004)
+        assert main([
+            "health", "--telemetry", str(telemetry),
+            "--slo", "rank_p99=repro_loadgen_latency_seconds{stat=p99}<=0.01",
+            "--slo", "repro_cache_hit_rate>=0.9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "health: OK" in out
+        assert "rank_p99" in out
+
+    def test_telemetry_mode_breach_exits_one(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.jsonl"
+        self._write_telemetry(telemetry, p99=0.5)
+        assert main([
+            "health", "--telemetry", str(telemetry),
+            "--slo", "rank_p99=repro_loadgen_latency_seconds{stat=p99}<=0.01",
+        ]) == 1
+        assert "breached: rank_p99" in capsys.readouterr().out
+
+    def test_json_output_and_artifact(self, tmp_path, capsys):
+        import json
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        artifact = tmp_path / "health.json"
+        self._write_telemetry(telemetry, p99=0.004)
+        assert main([
+            "health", "--telemetry", str(telemetry),
+            "--slo", "repro_cache_hit_rate>=0.9",
+            "--json", "--out", str(artifact),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["healthy"] is True
+        on_disk = json.loads(artifact.read_text())
+        assert on_disk == payload
+
+    def test_missing_telemetry_exits_two(self, tmp_path, capsys):
+        assert main([
+            "health", "--telemetry", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_slo_spec_exits_two(self, tmp_path, capsys):
+        assert main(["health", "--slo", "not a spec"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_synthetic_mode_runs_load_and_reports(self, capsys):
+        # Loose SLO so shared-runner jitter cannot flake the verdict;
+        # the run itself (service build + load + drift monitors) is
+        # what is under test.
+        assert main([
+            "health", "--duration", "0.2", "--pool-size", "80",
+            "--workers", "2", "--warmup", "10", "--seed", "6",
+            "--slo", "repro_loadgen_latency_seconds{stat=p99}<=60.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "health: OK" in out
+        assert "serving_scores" in out  # drift monitors folded in
+
+
+class TestBenchGateCommand:
+    def _point(self, **overrides):
+        point = {
+            "workers": 2,
+            "pool_size": 120,
+            "saturated": False,
+            "achieved_rps": 150.0,
+            "latency_p50_ms": 1.0,
+            "latency_p95_ms": 2.0,
+            "latency_p99_ms": 5.0,
+        }
+        point.update(overrides)
+        return point
+
+    def _write(self, path, payload):
+        import json
+
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_within_tolerance_exits_zero(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_serving.json"
+        report = tmp_path / "report.json"
+        self._write(bench, {"bench": "serving_loadgen",
+                            "points": [self._point()]})
+        self._write(report, self._point(latency_p99_ms=6.0))
+        assert main([
+            "bench-gate", "--bench", str(bench), "--report", str(report),
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_serving.json"
+        report = tmp_path / "report.json"
+        self._write(bench, {"bench": "serving_loadgen",
+                            "points": [self._point()]})
+        self._write(report, self._point(latency_p99_ms=100.0))
+        assert main([
+            "bench-gate", "--bench", str(bench), "--report", str(report),
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_accepts_raw_loadgen_report(self, tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_serving.json"
+        report = tmp_path / "report.json"
+        self._write(bench, {"bench": "serving_loadgen",
+                            "points": [self._point()]})
+        raw = {
+            "config": {"workers": 2, "rate": 150.0, "duration": 0.3},
+            "pool_size": 120,
+            "requests": 45,
+            "achieved_rps": 149.0,
+            "saturated": False,
+            "latency": {"p50": 0.0011, "p95": 0.0021, "p99": 0.0049},
+        }
+        self._write(report, raw)
+        assert main([
+            "bench-gate", "--bench", str(bench), "--report", str(report),
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["compared"] == 1
+
+    def test_missing_files_exit_two(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        self._write(report, self._point())
+        assert main([
+            "bench-gate", "--bench", str(tmp_path / "nope.json"),
+            "--report", str(report),
+        ]) == 2
+        assert main([
+            "bench-gate", "--bench", str(report),
+            "--report", str(tmp_path / "nope.json"),
+        ]) == 2

@@ -7,8 +7,12 @@ import numpy as np
 import pytest
 
 from repro.loadgen import (
+    GateTolerances,
     LoadgenConfig,
     append_bench_point,
+    bench_point,
+    check_bench_regression,
+    format_gate,
     format_report,
     percentile,
     run_load,
@@ -76,6 +80,7 @@ class TestConfigValidation:
             {"workers": 0},
             {"score_fraction": 1.5},
             {"batch_users": 0},
+            {"warmup": -1},
         ],
     )
     def test_bad_values_raise(self, kwargs):
@@ -163,6 +168,229 @@ class TestRunLoad:
         report = run_load(StubService(), USERS, EVENTS, self.CONFIG)
         text = format_report(report)
         assert "p99" in text and "offered rate" in text
+
+
+class TestWarmup:
+    def test_warmup_requests_issued_but_excluded(self):
+        config = LoadgenConfig(
+            rate=400.0, duration=0.15, workers=2, warmup=25, seed=5
+        )
+        service = StubService()
+        report = run_load(service, USERS, EVENTS, config)
+        assert report.warmup_excluded == 25
+        assert len(service.calls) == report.requests + 25
+        assert len(report.records) == report.requests
+
+    def test_warmup_does_not_perturb_measured_traffic(self):
+        base = LoadgenConfig(rate=400.0, duration=0.15, workers=2, seed=5)
+        warmed = LoadgenConfig(
+            rate=400.0, duration=0.15, workers=2, warmup=40, seed=5
+        )
+        cold = run_load(StubService(), USERS, EVENTS, base)
+        warm = run_load(StubService(), USERS, EVENTS, warmed)
+        assert warm.requests == cold.requests
+        assert warm.ops == cold.ops
+        assert [r.op for r in warm.records] == [r.op for r in cold.records]
+
+    def test_format_report_mentions_warmup(self):
+        config = LoadgenConfig(
+            rate=400.0, duration=0.15, workers=2, warmup=7, seed=5
+        )
+        report = run_load(StubService(), USERS, EVENTS, config)
+        assert "warmup:        7 requests" in format_report(report)
+
+
+class TestReportHealth:
+    CONFIG = LoadgenConfig(rate=400.0, duration=0.15, workers=2, seed=5)
+
+    def test_disabled_registry_yields_no_health(self):
+        report = run_load(StubService(), USERS, EVENTS, self.CONFIG)
+        assert report.health is None
+        assert report.as_dict()["health"] is None
+
+    def test_enabled_registry_yields_verdict_and_gauges(self):
+        with use_registry(MetricsRegistry()) as registry:
+            report = run_load(
+                StubService(), USERS, EVENTS, self.CONFIG, registry=registry
+            )
+            snapshot = {
+                (r["name"], r["tags"].get("stat")): r
+                for r in registry.snapshot()
+            }
+        assert report.health is not None
+        assert {slo.name for slo in report.health.slos} == {
+            "rank_p99", "cache_hit_rate", "score_drift_ok"
+        }
+        p99 = snapshot[("repro_loadgen_latency_seconds", "p99")]
+        assert p99["value"] == pytest.approx(report.latency["p99"])
+        assert ("repro_loadgen_achieved_rps", None) in snapshot
+        assert ("repro_health_ok", None) in snapshot
+        # The stub service exports no cache/drift metrics: those SLOs
+        # read "missing", which must flip the verdict unhealthy.
+        assert not report.health.healthy
+        assert "cache_hit_rate" in report.health.breached()
+
+    def test_custom_slos_override_defaults(self):
+        from repro.obs.health import SLOSpec
+
+        slos = [
+            SLOSpec(
+                name="loose_p99",
+                metric="repro_loadgen_latency_seconds",
+                tags={"stat": "p99"},
+                op="<=",
+                target=60.0,
+            )
+        ]
+        with use_registry(MetricsRegistry()) as registry:
+            report = run_load(
+                StubService(), USERS, EVENTS, self.CONFIG,
+                registry=registry, slos=slos,
+            )
+        assert report.health is not None
+        assert report.health.healthy
+        assert [slo.name for slo in report.health.slos] == ["loose_p99"]
+
+
+class TestBenchPoint:
+    def test_stamps_provenance_fields(self):
+        config = LoadgenConfig(
+            rate=400.0, duration=0.15, workers=2, warmup=5, seed=5
+        )
+        report = run_load(StubService(), USERS, EVENTS, config)
+        point = bench_point(report.as_dict(), date="2026-08-08")
+        assert point["date"] == "2026-08-08"
+        assert point["commit"] and isinstance(point["commit"], str)
+        assert point["python"].count(".") == 2
+        assert point["workers"] == 2
+        assert point["warmup"] == 5
+        assert point["pool_size"] == len(EVENTS)
+        assert point["latency_p99_ms"] == pytest.approx(
+            report.latency["p99"] * 1e3, rel=1e-3
+        )
+        assert "health" not in point  # registry disabled => no verdict
+
+    def test_carries_health_summary_when_present(self):
+        report = {
+            "config": {"workers": 4, "rate": 100.0, "duration": 1.0},
+            "pool_size": 10,
+            "requests": 50,
+            "achieved_rps": 99.0,
+            "saturated": False,
+            "latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003},
+            "health": {"healthy": False, "breached": ["rank_p99"]},
+        }
+        point = bench_point(report, date="2026-08-08")
+        assert point["health"] == {
+            "healthy": False, "breached": ["rank_p99"]
+        }
+
+
+def make_point(**overrides):
+    point = {
+        "workers": 4,
+        "pool_size": 500,
+        "saturated": False,
+        "achieved_rps": 200.0,
+        "latency_p50_ms": 1.0,
+        "latency_p95_ms": 2.0,
+        "latency_p99_ms": 5.0,
+    }
+    point.update(overrides)
+    return point
+
+
+class TestBenchGate:
+    def test_within_tolerance_passes(self):
+        document = {"points": [make_point(), make_point(latency_p99_ms=6.0)]}
+        result = check_bench_regression(document, make_point())
+        assert result.ok
+        assert result.compared == 2
+        assert {check.metric for check in result.checks} == {
+            "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+            "achieved_rps",
+        }
+
+    def test_latency_regression_fails(self):
+        document = {"points": [make_point()]}
+        candidate = make_point(latency_p99_ms=5.0 * 5.0 + 1.0)
+        result = check_bench_regression(document, candidate)
+        assert not result.ok
+        failing = [c.metric for c in result.checks if not c.ok]
+        assert failing == ["latency_p99_ms"]
+
+    def test_throughput_collapse_fails(self):
+        document = {"points": [make_point()]}
+        result = check_bench_regression(
+            document, make_point(achieved_rps=50.0)
+        )
+        assert not result.ok
+
+    def test_median_baseline_ignores_one_outlier(self):
+        document = {
+            "points": [
+                make_point(),
+                make_point(),
+                make_point(latency_p99_ms=500.0),  # historical outlier
+            ]
+        }
+        result = check_bench_regression(document, make_point())
+        p99 = next(
+            c for c in result.checks if c.metric == "latency_p99_ms"
+        )
+        assert p99.baseline == 5.0
+        assert result.ok
+
+    def test_no_comparable_points_passes_vacuously(self):
+        document = {"points": [make_point(workers=8)]}
+        result = check_bench_regression(document, make_point())
+        assert result.ok and result.compared == 0
+        assert "no comparable" in result.reason
+
+    def test_saturated_history_is_excluded_from_baseline(self):
+        document = {
+            "points": [make_point(saturated=True, latency_p99_ms=900.0)]
+        }
+        result = check_bench_regression(document, make_point())
+        assert result.compared == 0
+
+    def test_saturated_candidate_fails(self):
+        document = {"points": [make_point()]}
+        result = check_bench_regression(
+            document, make_point(saturated=True)
+        )
+        assert not result.ok
+        assert "saturated" in result.reason
+
+    def test_custom_tolerances(self):
+        document = {"points": [make_point()]}
+        candidate = make_point(latency_p99_ms=9.0)
+        strict = GateTolerances(latency_p99_ms=1.5)
+        assert not check_bench_regression(document, candidate, strict).ok
+        loose = GateTolerances(latency_p99_ms=2.0)
+        assert check_bench_regression(document, candidate, loose).ok
+
+    def test_bad_tolerances_raise(self):
+        with pytest.raises(ValueError):
+            GateTolerances(latency_p99_ms=0.0)
+
+    def test_format_gate_mentions_verdict(self):
+        document = {"points": [make_point()]}
+        passing = format_gate(check_bench_regression(document, make_point()))
+        assert "PASS" in passing and "latency_p99_ms" in passing
+        failing = format_gate(
+            check_bench_regression(
+                document, make_point(latency_p99_ms=100.0)
+            )
+        )
+        assert "FAIL" in failing and "REGRESSION" in failing
+
+    def test_result_as_dict_round_trips(self):
+        document = {"points": [make_point()]}
+        result = check_bench_regression(document, make_point())
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["ok"] is True
+        assert len(payload["checks"]) == 4
 
 
 class TestBenchTrajectory:
