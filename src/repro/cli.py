@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the life cycle a downstream user needs:
+Ten subcommands cover the life cycle a downstream user needs:
 
 * ``repro-events generate`` — synthesize a dataset and save it;
 * ``repro-events train`` — train the joint representation model on a
@@ -14,7 +14,11 @@ Nine subcommands cover the life cycle a downstream user needs:
 * ``repro-events loadgen`` — drive open-loop Poisson traffic against
   a self-contained serving stack with request tracing, and report
   latency percentiles, per-stage attribution, and an SLO health
-  verdict;
+  verdict; ``--server http`` routes the same traffic through the
+  micro-batching HTTP server end-to-end;
+* ``repro-events serve`` — stand up the batched HTTP serving API
+  (``/recommend``, ``/similar-events``, ``/score``, ``/healthz``,
+  ``/metrics``) over a synthetic or trained model;
 * ``repro-events health`` — evaluate SLO specs against a telemetry
   snapshot (or a fresh synthetic load run); exit 0 healthy, 1
   breached;
@@ -35,6 +39,8 @@ Examples::
     repro-events metrics --telemetry telemetry.jsonl --exemplars
     repro-events loadgen --rate 200 --duration 2 --warmup 50 \\
         --chrome-out trace.json --bench-out BENCH_serving.json
+    repro-events loadgen --server http --rate 300 --warmup 50
+    repro-events serve --port 8321 --pool-size 500
     repro-events health --telemetry telemetry.jsonl \\
         --slo 'repro_cache_hit_rate>=0.9'
     repro-events bench-gate --bench BENCH_serving.json --report report.json
@@ -198,6 +204,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append a trajectory point to this BENCH_*.json")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of text")
+    loadgen.add_argument(
+        "--server", choices=("inprocess", "http"), default="inprocess",
+        help="inprocess = call the service directly (default); http = "
+        "boot the micro-batching serving API in-process and drive it "
+        "over HTTP, measuring the batched end-to-end path",
+    )
+    loadgen.add_argument("--batch-window", type=float, default=0.003,
+                         help="http server: micro-batch deadline window, seconds")
+    loadgen.add_argument("--max-batch", type=int, default=32,
+                         help="http server: flush when this many requests queue")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the batched HTTP serving API",
+        description="Serve /recommend, /similar-events, /score, /healthz "
+        "and /metrics over a RepresentationService, coalescing "
+        "concurrent /recommend requests into single GEMM batches. "
+        "Without --bundle a synthetic untrained stack is served (the "
+        "loadgen world); with --bundle and --dataset a trained model "
+        "serves that dataset's users and events.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--dataset", default=None,
+                       help="dataset .json.gz to serve (requires --bundle)")
+    serve.add_argument("--bundle", default=None,
+                       help="trained model bundle directory")
+    serve.add_argument("--pool-size", type=int, default=500,
+                       help="synthetic mode: candidate-pool size")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--batch-window", type=float, default=0.003,
+                       help="micro-batch deadline window, seconds")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush when this many requests queue")
 
     health = commands.add_parser(
         "health",
@@ -518,7 +559,57 @@ def _cmd_loadgen(args) -> int:
     )
     with use_registry(MetricsRegistry()) as registry:
         with use_tracer(Tracer(sampler)) as tracer:
-            report = run_load(service, users, events, config, registry=registry)
+            if args.server == "http":
+                from repro.serving import (
+                    HttpServiceClient,
+                    ServingServer,
+                    ThreadedServer,
+                )
+
+                serving = ServingServer(
+                    service,
+                    users,
+                    events,
+                    window_seconds=args.batch_window,
+                    max_batch=args.max_batch,
+                    registry=registry,
+                )
+                with ThreadedServer(serving) as hosted:
+                    print(
+                        f"serving on http://{hosted.host}:{hosted.port} "
+                        f"(window={args.batch_window * 1e3:g} ms, "
+                        f"max_batch={args.max_batch})",
+                        file=sys.stderr,
+                    )
+                    client = HttpServiceClient(
+                        hosted.host,
+                        hosted.port,
+                        full_pool_size=len(events),
+                        monitors=service.monitors,
+                    )
+                    try:
+                        report = run_load(
+                            client,
+                            users,
+                            events,
+                            config,
+                            registry=registry,
+                            mode="http",
+                        )
+                    finally:
+                        client.close()
+                flushed = serving.batcher.batches_flushed
+                batched = serving.batcher.requests_batched
+                print(
+                    f"serving batches: {flushed} flushed, "
+                    f"{batched} requests, mean batch size "
+                    f"{batched / flushed if flushed else 0.0:.2f}",
+                    file=sys.stderr,
+                )
+            else:
+                report = run_load(
+                    service, users, events, config, registry=registry
+                )
         traces = tracer.traces()
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -548,6 +639,66 @@ def _cmd_loadgen(args) -> int:
             f"{args.bench_out}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import ServingServer, ThreadedServer
+
+    if (args.dataset is None) != (args.bundle is None):
+        print(
+            "error: --dataset and --bundle must be given together",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset is not None:
+        dataset = EventRecDataset.load(args.dataset)
+        model = load_model_bundle(args.bundle)
+        service = RepresentationService(model)
+        users = sorted(dataset.users, key=lambda user: user.user_id)
+        events = sorted(dataset.events, key=lambda event: event.event_id)
+        print(f"warming {len(users)} users, {len(events)} events ...",
+              file=sys.stderr)
+        service.warm(users, events)
+    else:
+        from repro.loadgen import build_synthetic_service
+
+        print(
+            f"building synthetic serving stack (pool={args.pool_size}) ...",
+            file=sys.stderr,
+        )
+        service, users, events = build_synthetic_service(
+            seed=args.seed, pool_size=args.pool_size
+        )
+    with use_registry(MetricsRegistry()) as registry:
+        server = ServingServer(
+            service,
+            users,
+            events,
+            window_seconds=args.batch_window,
+            max_batch=args.max_batch,
+            registry=registry,
+        )
+        hosted = ThreadedServer(server, host=args.host, port=args.port)
+        try:
+            host, port = hosted.start()
+        except RuntimeError as error:
+            cause = error.__cause__ if error.__cause__ is not None else error
+            print(f"error: {cause}", file=sys.stderr)
+            return 2
+        print(
+            f"serving on http://{host}:{port} "
+            f"(window={args.batch_window * 1e3:g} ms, "
+            f"max_batch={args.max_batch}); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            while hosted.join(timeout=1.0):
+                pass
+        except KeyboardInterrupt:
+            print("draining ...", file=sys.stderr)
+        finally:
+            hosted.stop()
     return 0
 
 
@@ -704,6 +855,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "metrics": _cmd_metrics,
     "loadgen": _cmd_loadgen,
+    "serve": _cmd_serve,
     "health": _cmd_health,
     "bench-gate": _cmd_bench_gate,
     "analyze": _cmd_analyze,

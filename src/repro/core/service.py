@@ -48,7 +48,12 @@ from repro.obs.spans import span
 from repro.store.cache import VectorCache
 from repro.store.index import EventIndex, top_k_order
 
-__all__ = ["ScoredEvent", "ServingMonitors", "RepresentationService"]
+__all__ = [
+    "ScoredEvent",
+    "ServingMonitors",
+    "RepresentationService",
+    "validate_top_k",
+]
 
 # Candidate-pool sizes are counts, not latencies: linear-ish buckets.
 _CANDIDATE_BUCKETS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000, 10000)
@@ -73,12 +78,14 @@ def _fingerprint(payload: dict) -> str:
     return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
 
 
-def _validate_top_k(top_k: int | None) -> int | None:
+def validate_top_k(top_k: int | None) -> int | None:
     """``top_k`` must be a positive integer (or None = full ranking).
 
     A negative value would silently slice from the wrong end
     (``scored[:-2]`` semantics); zero silently returns nothing.  Both
-    are caller bugs — fail loudly.
+    are caller bugs — fail loudly.  Public so API boundaries (the
+    serving HTTP layer, the CLI) apply exactly the ranking paths'
+    validation instead of re-deriving it.
     """
     if top_k is None:
         return None
@@ -311,10 +318,17 @@ class RepresentationService:
         # Entries whose (id, version) is already cached are counted as
         # hits and skipped — re-encoding them would only burn tower
         # inference and churn the LRU order of the live working set.
+        # Duplicate (id, version) pairs *within* the cohort are encoded
+        # once: a warm cohort assembled from concurrent requests can
+        # legitimately name the same cold entity several times.
         pending_users: list[tuple[User, str]] = []
+        seen_users: set[tuple[int, str]] = set()
         for user in users:
             version = self.user_version(user)
+            if (user.user_id, version) in seen_users:
+                continue
             if self.cache.peek(self.USER_KIND, user.user_id, version) is None:
+                seen_users.add((user.user_id, version))
                 pending_users.append((user, version))
         if pending_users:
             encoded = [
@@ -325,10 +339,14 @@ class RepresentationService:
                 self.cache.put(self.USER_KIND, user.user_id, version, vector)
 
         pending_events: list[tuple[Event, str]] = []
+        seen_events: set[tuple[int, str]] = set()
         for event in events:
             version = self.event_version(event)
+            if (event.event_id, version) in seen_events:
+                continue
             vector = self.cache.peek(self.EVENT_KIND, event.event_id, version)
             if vector is None:
+                seen_events.add((event.event_id, version))
                 pending_events.append((event, version))
             else:
                 self.index.upsert(event, version, vector)
@@ -389,11 +407,15 @@ class RepresentationService:
         if not pending:
             return
         need_encode: list[tuple[Event, str]] = []
+        seen: set[tuple[int, str]] = set()
         for event, version in pending:
+            if (event.event_id, version) in seen:
+                continue
             cached = self.cache.get(self.EVENT_KIND, event.event_id, version)
             if cached is not None:
                 self.index.upsert(event, version, cached)
             else:
+                seen.add((event.event_id, version))
                 need_encode.append((event, version))
         if not need_encode:
             return
@@ -467,7 +489,7 @@ class RepresentationService:
                 candidate and refresh stale rows before scoring,
                 instead of trusting indexed ``event_id`` rows.
         """
-        top_k = _validate_top_k(top_k)
+        top_k = validate_top_k(top_k)
         mode = self.serving if serving is None else serving
         if mode not in _SERVING_MODES:
             raise ValueError(
@@ -562,6 +584,7 @@ class RepresentationService:
         at_time: float | None = None,
         top_k: int | None = None,
         verify_versions: bool = False,
+        observe_scores: bool = True,
     ) -> list[list[ScoredEvent]]:
         """Rank the same candidate pool for many users in one GEMM.
 
@@ -571,8 +594,16 @@ class RepresentationService:
         same ``argpartition`` + ``(-score, event_id)`` selection as
         :meth:`rank_events`.  Returns one ranking per user, in input
         order.
+
+        ``observe_scores=False`` skips feeding the returned scores to
+        the score drift monitor.  The serving micro-batcher ranks the
+        *union* of its requests' pools untruncated and slices each
+        response out afterwards; it must observe only the scores it
+        actually serves, or the drift baseline (built from served
+        top-K scores) would be compared against full-pool score
+        distributions and flag spurious drift.
         """
-        top_k = _validate_top_k(top_k)
+        top_k = validate_top_k(top_k)
         registry = self._obs()
         with span("repro_serving_rank_batch", registry=registry):
             results = self._rank_events_batch(
@@ -588,10 +619,11 @@ class RepresentationService:
                 "repro_serving_candidates", buckets=_CANDIDATE_BUCKETS
             ).observe(len(events))
             self.monitors.candidates.observe(float(len(events)))
-            scores_monitor = self.monitors.scores
-            for ranking in results:
-                for item in ranking:
-                    scores_monitor.observe(item.score)
+            if observe_scores:
+                scores_monitor = self.monitors.scores
+                for ranking in results:
+                    for item in ranking:
+                        scores_monitor.observe(item.score)
         return results
 
     def _rank_events_batch(
@@ -635,11 +667,25 @@ class RepresentationService:
         return results
 
     def _user_matrix(self, users: Sequence[User]) -> np.ndarray:
-        """Stack v_u for a user cohort, batch-encoding cache misses."""
+        """Stack v_u for a user cohort, batch-encoding cache misses.
+
+        A cohort coalesced from concurrent requests can contain the
+        same user several times; each distinct ``(user_id, version)``
+        is looked up — and, on a miss, encoded — exactly once, so two
+        coalesced requests for one cold user cost one tower inference
+        and one counted cache miss, not two.
+        """
         vectors: list[np.ndarray | None] = [None] * len(users)
         pending: list[tuple[int, User, str]] = []
+        owner: dict[tuple[int, str], int] = {}
+        duplicates: list[tuple[int, tuple[int, str]]] = []
         for i, user in enumerate(users):
             version = self.user_version(user)
+            key = (user.user_id, version)
+            if key in owner:
+                duplicates.append((i, key))
+                continue
+            owner[key] = i
             cached = self.cache.get(self.USER_KIND, user.user_id, version)
             if cached is not None:
                 vectors[i] = cached
@@ -659,4 +705,6 @@ class RepresentationService:
             for (i, user, version), vector in zip(pending, batch):
                 self.cache.put(self.USER_KIND, user.user_id, version, vector)
                 vectors[i] = vector
+        for i, key in duplicates:
+            vectors[i] = vectors[owner[key]]
         return np.vstack(vectors)

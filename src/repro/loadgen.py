@@ -178,6 +178,10 @@ class LoadReport:
     pool_size: int = 0
     warmup_excluded: int = 0
     health: HealthSnapshot | None = None
+    # How the service was reached: "inprocess" (direct method calls)
+    # or "http" (through the repro.serving server + client).  Bench
+    # points are only comparable within one mode.
+    mode: str = "inprocess"
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able view (drops the raw per-request records)."""
@@ -196,6 +200,7 @@ class LoadReport:
             "pool_size": self.pool_size,
             "warmup_excluded": self.warmup_excluded,
             "health": self.health.as_dict() if self.health is not None else None,
+            "mode": self.mode,
         }
 
 
@@ -230,14 +235,22 @@ def _export_report_gauges(
 
 
 def run_load(
-    service: RepresentationService,
+    service: RepresentationService | Any,
     users: Sequence[User],
     events: Sequence[Event],
     config: LoadgenConfig,
     registry: MetricsRegistry | None = None,
     slos: Sequence[SLOSpec] | None = None,
+    mode: str = "inprocess",
 ) -> LoadReport:
     """Drive one open-loop run and summarize it.
+
+    ``service`` is duck-typed: anything with ``score``,
+    ``rank_events``, and ``rank_events_batch`` works — in particular
+    :class:`repro.serving.client.HttpServiceClient`, which turns this
+    harness into an end-to-end driver for the batched HTTP server
+    (pass ``mode="http"`` so the report and its bench point carry the
+    path that was measured; bench-gate only compares like with like).
 
     The caller decides the observability setup: install a tracer
     (``with use_tracer(...)``) to get per-stage attribution and
@@ -372,6 +385,7 @@ def run_load(
         pool_size=len(events),
         warmup_excluded=config.warmup,
         health=health,
+        mode=mode,
     )
 
 
@@ -519,6 +533,7 @@ def bench_point(
         "duration": config.get("duration"),
         "warmup": config.get("warmup", 0),
         "pool_size": report.get("pool_size", 0),
+        "mode": report.get("mode", "inprocess"),
         "requests": report["requests"],
         "achieved_rps": round(float(report["achieved_rps"]), 2),
         "saturated": bool(report["saturated"]),
@@ -619,7 +634,9 @@ def check_bench_regression(
     """Compare a fresh bench point against the committed trajectory.
 
     Baselines are the *medians* over comparable points — same
-    ``workers`` and ``pool_size``, not saturated — so one historical
+    ``workers``, ``pool_size``, and serving ``mode`` (in-process vs
+    HTTP; points predating the mode field count as in-process), not
+    saturated — so one historical
     outlier cannot poison the gate.  A candidate passes when every
     latency percentile stays under ``median * tolerance`` and
     throughput stays above ``median * tolerance``.  With no
@@ -635,6 +652,8 @@ def check_bench_regression(
         for point in points
         if point.get("workers") == candidate.get("workers")
         and point.get("pool_size") == candidate.get("pool_size")
+        # Points predating the HTTP serving mode are in-process ones.
+        and point.get("mode", "inprocess") == candidate.get("mode", "inprocess")
         and not point.get("saturated", False)
     ]
     if not comparable:

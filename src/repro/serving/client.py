@@ -1,0 +1,161 @@
+"""Synchronous HTTP client mirroring the ``RepresentationService`` calls.
+
+:class:`HttpServiceClient` duck-types the three methods
+:func:`repro.loadgen.run_load` dispatches on — ``score``,
+``rank_events``, ``rank_events_batch`` — so the open-loop harness can
+drive the batched HTTP server with the *same* traffic plan it uses
+in-process: pass the client where the service would go.  Connections
+are per-thread (``http.client`` handles are not thread-safe) and
+keep-alive, with one transparent reconnect when the server closes an
+idle connection.
+
+When ``rank_events`` is called with the full served pool (the only
+shape loadgen produces), the request omits ``event_ids`` — the server
+ranks its whole pool — so the wire cost stays flat in pool size.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from collections.abc import Sequence
+from typing import Any
+
+from repro.entities import Event, User
+
+__all__ = ["HttpServiceClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response, carrying the server's error envelope."""
+
+    def __init__(self, status: int, envelope: Any) -> None:
+        super().__init__(f"HTTP {status}: {envelope}")
+        self.status = status
+        self.envelope = envelope
+
+
+class HttpServiceClient:
+    """Service-shaped facade over the serving HTTP API."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        full_pool_size: int | None = None,
+        timeout: float = 30.0,
+        monitors: Any = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.full_pool_size = full_pool_size
+        self.timeout = timeout
+        # When the server is hosted in-process, the backing service's
+        # ServingMonitors can be handed through here so run_load's
+        # health evaluation still sees the drift verdict; a genuinely
+        # remote server leaves this None.
+        self.monitors = monitors
+        self._local = threading.local()
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def _reset_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+        self._local.connection = None
+
+    def request(self, method: str, path: str, payload: Any = None) -> Any:
+        """One round-trip; retries once on a dropped idle connection."""
+        body = None if payload is None else json.dumps(payload)
+        for attempt in (0, 1):
+            connection = self._connection()
+            try:
+                connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self._reset_connection()
+                if attempt:
+                    raise
+        status = response.status
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            decoded: Any = json.loads(raw) if raw else None
+        else:
+            decoded = raw.decode("utf-8")
+        if status >= 400:
+            raise ServerError(status, decoded)
+        return decoded
+
+    def close(self) -> None:
+        self._reset_connection()
+
+    # -- service-shaped calls (loadgen duck-typing) --------------------
+
+    def score(self, user: User, event: Event) -> float:
+        reply = self.request(
+            "POST",
+            "/score",
+            {"user_id": user.user_id, "event_id": event.event_id},
+        )
+        return float(reply["score"])
+
+    def rank_events(
+        self,
+        user: User,
+        events: Sequence[Event],
+        at_time: float | None = None,
+        top_k: int | None = None,
+    ) -> list[dict[str, Any]]:
+        payload: dict[str, Any] = {"user_id": user.user_id, "top_k": top_k}
+        if at_time is not None:
+            payload["at_time"] = at_time
+        if self.full_pool_size is None or len(events) != self.full_pool_size:
+            payload["event_ids"] = [event.event_id for event in events]
+        reply = self.request("POST", "/recommend", payload)
+        return list(reply["results"])
+
+    def rank_events_batch(
+        self,
+        users: Sequence[User],
+        events: Sequence[Event],
+        at_time: float | None = None,
+        top_k: int | None = None,
+    ) -> list[list[dict[str, Any]]]:
+        # Sequential per-user posts: batching is the *server's* job —
+        # coalescing happens when many workers post concurrently, not
+        # by the client pre-forming cohorts.
+        return [
+            self.rank_events(user, events, at_time=at_time, top_k=top_k)
+            for user in users
+        ]
+
+    # -- operational endpoints -----------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return dict(self.request("GET", "/healthz"))
+
+    def metrics(self) -> str:
+        return str(self.request("GET", "/metrics"))

@@ -392,13 +392,22 @@ class EventIndex:
         values = np.asarray(queries, dtype=np.float64)
         if values.ndim != 2:
             raise ValueError(f"queries must be 2-D, got shape {values.shape}")
-        norms = np.sqrt((values * values).sum(axis=1)) + COSINE_EPS
+        # Per-row dot products, not (values * values).sum(axis=1): the
+        # pairwise summation of .sum() rounds differently from the BLAS
+        # dot used by the single-user path, which made batch scores
+        # diverge from rank_events in the last ulp of the denominator.
+        norms = np.fromiter(
+            (float(row @ row) for row in values),
+            dtype=np.float64,
+            count=values.shape[0],
+        )
+        np.sqrt(norms, out=norms)
+        norms += COSINE_EPS
         with self._lock:
             if self._matrix is None:
                 return np.empty((values.shape[0], 0), dtype=np.float64)
             dots = values @ self._select(self._matrix, rows).T
             scales = self._select(self._scales, rows)
-            # repro: noqa[RPR101] fused GEMM form of nn.cosine; parity-tested <= 1e-9 vs pair_cosine
             return dots * (scales[None, :] / norms[:, None])
 
     def _resolve_ids(

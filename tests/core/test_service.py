@@ -454,3 +454,53 @@ class TestServingMonitors:
         assert not monitors.scores.warming
         monitors.rebaseline()
         assert all(monitor.warming for monitor in monitors.all)
+
+
+class TestBatchUserDedupe:
+    def _observed_service(self, tiny_users, tiny_events):
+        encoder = DocumentEncoder.fit(tiny_users, tiny_events, min_df=1)
+        model = JointUserEventModel(JointModelConfig.small(seed=2), encoder)
+        registry = MetricsRegistry()
+        return registry, RepresentationService(
+            model, VectorCache(), registry=registry
+        )
+
+    def test_duplicate_cold_users_encode_once(self, tiny_users, tiny_events):
+        """A cohort repeating one cold user costs one cache miss and
+        one tower inference, and every copy gets the owner's rows."""
+        _, service = self._observed_service(tiny_users, tiny_events)
+        service.warm([], tiny_events)
+        model = service.model
+        encode_calls = []
+        original = model.encode_users
+
+        def counting_encode_users(encoded):
+            encode_calls.append(len(encoded))
+            return original(encoded)
+
+        model.encode_users = counting_encode_users
+        cold = tiny_users[0]
+        misses_before = service.cache.stats.misses
+        rankings = service.rank_events_batch([cold, cold, cold], tiny_events)
+        assert service.cache.stats.misses - misses_before == 1
+        assert encode_calls == [1]
+        first = [(item.event.event_id, item.score) for item in rankings[0]]
+        for ranking in rankings[1:]:
+            assert [
+                (item.event.event_id, item.score) for item in ranking
+            ] == first
+
+    def test_observe_scores_flag_gates_drift_monitor(
+        self, tiny_users, tiny_events
+    ):
+        _, service = self._observed_service(tiny_users, tiny_events)
+        service.warm(tiny_users, tiny_events)
+        before = service.monitors.scores.observed
+        service.rank_events_batch(
+            tiny_users, tiny_events, observe_scores=False
+        )
+        assert service.monitors.scores.observed == before
+        service.rank_events_batch(tiny_users, tiny_events)
+        assert service.monitors.scores.observed == before + (
+            len(tiny_users) * len(tiny_events)
+        )

@@ -1,0 +1,259 @@
+"""Micro-batcher semantics: flush triggers, isolation, lifecycle.
+
+Everything runs inside ``asyncio.run`` (the suite has no asyncio
+plugin); each test builds a tiny event-loop scenario and asserts on
+what the runner saw and what the submitters got back.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serving.batcher import BatcherClosed, MicroBatcher
+
+
+def make_runner(log):
+    """A runner that logs each batch and echoes items back."""
+
+    def runner(items):
+        log.append(list(items))
+        return [f"ran:{item}" for item in items]
+
+    return runner
+
+
+class TestFlushTriggers:
+    def test_deadline_flush_coalesces_waiters(self):
+        log = []
+        registry = MetricsRegistry()
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(log), window_seconds=0.05, max_batch=10,
+                registry=registry,
+            )
+            tasks = [asyncio.create_task(batcher.submit(i)) for i in range(3)]
+            return await asyncio.gather(*tasks)
+
+        results = asyncio.run(scenario())
+        assert results == ["ran:0", "ran:1", "ran:2"]
+        assert log == [[0, 1, 2]]  # one flush, all three coalesced
+        [counter] = [
+            record
+            for record in registry.snapshot()
+            if record["name"] == "repro_serving_batch_flush_total"
+        ]
+        assert counter["tags"] == {"reason": "deadline"}
+
+    def test_max_batch_flushes_before_deadline(self):
+        log = []
+        registry = MetricsRegistry()
+
+        async def scenario():
+            # A window so long that only the size trigger can flush
+            # within the test's lifetime.
+            batcher = MicroBatcher(
+                make_runner(log), window_seconds=30.0, max_batch=2,
+                registry=registry,
+            )
+            tasks = [asyncio.create_task(batcher.submit(i)) for i in range(4)]
+            return await asyncio.wait_for(asyncio.gather(*tasks), timeout=5.0)
+
+        results = asyncio.run(scenario())
+        assert results == ["ran:0", "ran:1", "ran:2", "ran:3"]
+        assert log == [[0, 1], [2, 3]]
+        reasons = {
+            tuple(record["tags"].items()): record["value"]
+            for record in registry.snapshot()
+            if record["name"] == "repro_serving_batch_flush_total"
+        }
+        assert reasons == {(("reason", "full"),): 2.0}
+
+    def test_batch_size_histogram_records_flushes(self):
+        registry = MetricsRegistry()
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner([]), window_seconds=0.02, max_batch=10,
+                registry=registry,
+            )
+            await asyncio.gather(*[batcher.submit(i) for i in range(3)])
+            await batcher.submit("solo")
+
+        asyncio.run(scenario())
+        [histogram] = [
+            record
+            for record in registry.snapshot()
+            if record["name"] == "repro_serving_batch_users"
+        ]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == 4.0  # one batch of 3, one of 1
+
+
+class TestFastPath:
+    def test_single_request_uses_fast_runner(self):
+        batch_log, fast_log = [], []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(batch_log),
+                window_seconds=0.01,
+                fast_runner=lambda item: fast_log.append(item) or f"fast:{item}",
+            )
+            return await batcher.submit("only")
+
+        assert asyncio.run(scenario()) == "fast:only"
+        assert fast_log == ["only"]
+        assert batch_log == []
+
+    def test_multi_request_skips_fast_runner(self):
+        batch_log, fast_log = [], []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(batch_log),
+                window_seconds=0.05,
+                fast_runner=lambda item: fast_log.append(item),
+            )
+            return await asyncio.gather(batcher.submit(1), batcher.submit(2))
+
+        assert asyncio.run(scenario()) == ["ran:1", "ran:2"]
+        assert batch_log == [[1, 2]]
+        assert fast_log == []
+
+
+class TestIsolation:
+    def test_poisoned_request_fails_alone(self):
+        def runner(items):
+            return [
+                ValueError(f"bad item {item}") if item == "poison" else f"ok:{item}"
+                for item in items
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window_seconds=0.05)
+            tasks = [
+                asyncio.create_task(batcher.submit(item))
+                for item in ("a", "poison", "b")
+            ]
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        good_a, poisoned, good_b = asyncio.run(scenario())
+        assert good_a == "ok:a"
+        assert good_b == "ok:b"
+        assert isinstance(poisoned, ValueError)
+        assert "bad item poison" in str(poisoned)
+
+    def test_runner_crash_fails_the_whole_batch(self):
+        def runner(items):
+            raise RuntimeError("the GEMM caught fire")
+
+        async def scenario():
+            batcher = MicroBatcher(runner, window_seconds=0.05)
+            tasks = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_result_length_mismatch_is_an_error(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda items: [], window_seconds=0.01)
+            return await asyncio.gather(
+                batcher.submit("x"), return_exceptions=True
+            )
+
+        [result] = asyncio.run(scenario())
+        assert isinstance(result, RuntimeError)
+        assert "0 results" in str(result)
+
+
+class TestCancellation:
+    def test_cancelled_request_skipped_at_flush(self):
+        log = []
+
+        async def scenario():
+            batcher = MicroBatcher(make_runner(log), window_seconds=0.05)
+            tasks = [asyncio.create_task(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)  # let every submit enqueue
+            tasks[1].cancel()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        first, cancelled, third = asyncio.run(scenario())
+        assert first == "ran:0"
+        assert third == "ran:2"
+        assert isinstance(cancelled, asyncio.CancelledError)
+        assert log == [[0, 2]]  # the cancelled item never reached the runner
+
+    def test_cancelling_all_but_one_leaves_fast_path(self):
+        batch_log, fast_log = [], []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(batch_log),
+                window_seconds=0.05,
+                fast_runner=lambda item: fast_log.append(item) or f"fast:{item}",
+            )
+            tasks = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+            await asyncio.sleep(0)
+            tasks[0].cancel()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        cancelled, survivor = asyncio.run(scenario())
+        assert isinstance(cancelled, asyncio.CancelledError)
+        assert survivor == "fast:1"
+        assert batch_log == []
+        assert fast_log == [1]
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            batcher = MicroBatcher(make_runner([]), window_seconds=0.01)
+            await batcher.close()
+            with pytest.raises(BatcherClosed):
+                await batcher.submit("late")
+
+        asyncio.run(scenario())
+
+    def test_close_drains_pending_requests(self):
+        log = []
+        registry = MetricsRegistry()
+
+        async def scenario():
+            # Deadline far away: only close() can flush these.
+            batcher = MicroBatcher(
+                make_runner(log), window_seconds=30.0, registry=registry
+            )
+            tasks = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+            await asyncio.sleep(0)
+            await batcher.close()
+            return await asyncio.gather(*tasks)
+
+        assert asyncio.run(scenario()) == ["ran:0", "ran:1"]
+        assert log == [[0, 1]]
+        reasons = {
+            record["tags"]["reason"]
+            for record in registry.snapshot()
+            if record["name"] == "repro_serving_batch_flush_total"
+        }
+        assert reasons == {"close"}
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            batcher = MicroBatcher(make_runner([]), window_seconds=0.01)
+            await batcher.close()
+            await batcher.close()
+
+        asyncio.run(scenario())
+
+
+class TestConstruction:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(make_runner([]), window_seconds=-0.001)
+
+    def test_zero_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(make_runner([]), max_batch=0)

@@ -409,3 +409,57 @@ class TestBenchTrajectory:
         append_bench_point(target, {}, bench="other")
         with pytest.raises(ValueError):
             append_bench_point(target, {}, bench="serving_loadgen")
+
+
+class TestServingMode:
+    """The HTTP serving mode: report tagging, gate comparability, and
+    a real end-to-end run against the threaded batched server."""
+
+    def test_report_mode_defaults_to_inprocess(self):
+        report = run_load(StubService(), USERS, EVENTS, TestRunLoad.CONFIG)
+        assert report.mode == "inprocess"
+        assert report.as_dict()["mode"] == "inprocess"
+
+    def test_bench_point_carries_mode(self):
+        report = run_load(
+            StubService(), USERS, EVENTS, TestRunLoad.CONFIG, mode="http"
+        )
+        point = bench_point(report.as_dict(), date="2026-08-08")
+        assert point["mode"] == "http"
+
+    def test_bench_point_defaults_legacy_reports_to_inprocess(self):
+        report = run_load(StubService(), USERS, EVENTS, TestRunLoad.CONFIG)
+        payload = report.as_dict()
+        del payload["mode"]  # a report written before modes existed
+        assert bench_point(payload, date="2026-08-08")["mode"] == "inprocess"
+
+    def test_gate_ignores_points_from_other_modes(self):
+        # A slow HTTP history must not gate an in-process candidate
+        # (and vice versa): mode is a comparability key.
+        document = {
+            "points": [make_point(mode="http", latency_p99_ms=500.0)]
+        }
+        result = check_bench_regression(document, make_point())
+        assert result.ok and result.compared == 0
+
+    def test_run_load_through_http_server(self):
+        from repro.loadgen import build_synthetic_service
+        from repro.serving import HttpServiceClient, ServingServer, ThreadedServer
+
+        service, users, events = build_synthetic_service(seed=1, pool_size=20)
+        server = ServingServer(service, users, events)
+        config = LoadgenConfig(
+            rate=150.0, duration=0.2, workers=2, score_fraction=0.25,
+            top_k=3, seed=4,
+        )
+        with ThreadedServer(server) as hosted:
+            client = HttpServiceClient(
+                hosted.host, hosted.port, full_pool_size=len(events)
+            )
+            try:
+                report = run_load(client, users, events, config, mode="http")
+            finally:
+                client.close()
+        assert report.mode == "http"
+        assert report.requests > 0
+        assert report.ops.get("rank", 0) > 0
