@@ -1,0 +1,868 @@
+"""Async-safety analysis (rules RPR501–RPR504).
+
+The serving layer (PR 8) put the ranker behind an asyncio loop; these
+rules guard the three ways that layer dies quietly under load:
+
+* **RPR501 — event-loop blocking taint.**  A declared registry of
+  blocking sinks (``time.sleep``, socket/file/subprocess I/O,
+  ``threading.Lock.acquire``, and the heavy project entry points —
+  ``RepresentationService.rank_events*``, the tower-encode paths,
+  ``render_prometheus``) is propagated interprocedurally over the
+  call graph: a *sync* function that reaches a sink becomes blocking;
+  an ``async def`` frame that calls a sink or a blocking sync
+  function is flagged, as is any function registered as an event-loop
+  callback (``loop.call_soon``/``call_later``…) that blocks.  Work
+  handed to ``run_in_executor``/``asyncio.to_thread`` is the
+  sanctioned escape hatch and is modeled explicitly: nothing inside
+  an executor-submission argument is flagged.
+* **RPR502 — un-awaited awaitables.**  A call to a coroutine function
+  (resolved via the call graph, not name heuristics) whose result is
+  discarded as a bare expression statement; ``ensure_future`` /
+  ``create_task`` results dropped without a retained reference; a
+  coroutine function handed to ``call_soon``/``run_in_executor``
+  (it would never be awaited); and discarded asyncio awaitables
+  (``gather``, ``sleep``, …).
+* **RPR503 — threading lock held across a suspension point.**  A
+  CFG-level scan of every ``async def``: no ``with lock:`` region or
+  manual ``acquire()``…``release()`` span may contain an ``await``,
+  ``async for``, or ``async with`` — the coroutine parks holding a
+  *thread* lock, and any other task (or executor thread) contending
+  for it deadlocks the loop.  Locks are recognized by construction
+  (``threading.Lock/RLock/Condition/Semaphore`` assigned to the
+  attribute or local), never by name; ``asyncio`` locks are exempt.
+* **RPR504 — future lifecycle completeness.**  A function creating
+  ``loop.create_future()``/``asyncio.Future()`` objects (the
+  ``MicroBatcher`` pattern) must resolve, cancel, or hand off every
+  future: a future that is neither is a waiter that hangs forever,
+  and a ``set_result`` inside a ``try`` with no ``set_exception`` /
+  ``cancel`` in an except/finally leaves exception paths unresolved.
+
+All four are best-effort in the linter direction: dynamic dispatch,
+unresolvable receivers, and nested-function bodies stay invisible —
+silence, not false alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    Project,
+    dotted_name,
+    local_class_types,
+    resolve_imported_target,
+)
+from repro.analysis.cfgutils import (
+    iter_suspension_points,
+    suspension_label,
+    walk_frame,
+)
+from repro.analysis.engine import Finding, ProjectRule, register_rule
+
+__all__ = [
+    "BLOCKING_CALLABLE_SINKS",
+    "BLOCKING_BUILTIN_SINKS",
+    "BLOCKING_METHOD_SINKS",
+    "EventLoopBlockingCall",
+    "UnawaitedAwaitable",
+    "LockHeldAcrossAwait",
+    "IncompleteFutureLifecycle",
+]
+
+# --- sink registry ----------------------------------------------------
+# Fully qualified callables that block the calling thread.  Resolution
+# goes through each module's import map, so aliases work; project
+# entry points are declared by qualified name.
+BLOCKING_CALLABLE_SINKS: dict[str, str] = {
+    "time.sleep": "sleeps the calling thread",
+    "socket.create_connection": "blocking socket connect",
+    "socket.getaddrinfo": "blocking DNS resolution",
+    "subprocess.run": "waits on a child process",
+    "subprocess.call": "waits on a child process",
+    "subprocess.check_call": "waits on a child process",
+    "subprocess.check_output": "waits on a child process",
+    "subprocess.Popen": "spawns a child process with blocking pipes",
+    "os.system": "waits on a shell",
+    "os.waitpid": "waits on a child process",
+    "urllib.request.urlopen": "blocking HTTP round-trip",
+    # Heavy project entry points: each is a full registry render or a
+    # GEMV/GEMM over the event pool — milliseconds, not microseconds.
+    "repro.obs.export.render_prometheus": "renders the full metrics registry",
+}
+# Builtins that block; matched only when the name is not locally
+# rebound or imported to mean something else.
+BLOCKING_BUILTIN_SINKS: dict[str, str] = {
+    "open": "blocking file I/O",
+    "input": "waits on stdin",
+}
+# Method names whose receiver cannot be resolved statically but that
+# uniquely identify heavy serving entry points in this project.
+# ``acquire`` is special-cased: it only matches on receivers proven to
+# be threading locks (an awaited ``acquire()`` is asyncio's, exempt).
+BLOCKING_METHOD_SINKS: dict[str, str] = {
+    "rank_events": "heavy GEMV ranking entry point",
+    "rank_events_batch": "heavy GEMM ranking entry point",
+    "user_vector": "tower encode entry point",
+    "event_vector": "tower encode entry point",
+    "warm": "bulk tower encoding",
+    "acquire": "threading-lock acquire can park the thread",
+}
+
+_THREADING_LOCK_CTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+_FUTURE_CTORS = frozenset({"asyncio.Future", "concurrent.futures.Future"})
+_TASK_SPAWNERS = frozenset({"asyncio.ensure_future", "asyncio.create_task"})
+_TASK_SPAWN_ATTRS = frozenset({"ensure_future", "create_task"})
+_ASYNCIO_AWAITABLES = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.shield",
+        "asyncio.open_connection",
+        "asyncio.to_thread",
+    }
+)
+_RESOLVING_ATTRS = frozenset({"set_result", "set_exception", "cancel"})
+_MAX_FIXPOINT_PASSES = 10
+_MAX_CHAIN = 5
+
+
+def _collect_class_locks(project: Project) -> dict[str, set[str]]:
+    """Class qualname → attribute names assigned a threading lock."""
+    locks: dict[str, set[str]] = {}
+    for qualname, cls in project.classes.items():
+        attrs: set[str] = set()
+        for node in ast.walk(cls.node):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            target_name = resolve_imported_target(project, cls.module, value)
+            if target_name not in _THREADING_LOCK_CTORS:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        if attrs:
+            locks[qualname] = attrs
+    return locks
+
+
+@dataclass
+class _SinkHit:
+    """One direct blocking-sink call in a frame."""
+
+    display: str
+    why: str
+    node: ast.Call
+
+
+@dataclass
+class _BlockInfo:
+    """Why a sync function is considered blocking."""
+
+    why: str
+    chain: tuple[str, ...]  # call path from the function's body to the sink
+
+
+@dataclass
+class _FrameScan:
+    """Everything the async rules need about one function's frame."""
+
+    info: FunctionInfo
+    nodes: list[ast.AST] = field(default_factory=list)
+    awaited_calls: set[int] = field(default_factory=set)
+    sink_hits: list[_SinkHit] = field(default_factory=list)
+    project_calls: list[tuple[ast.Call, str]] = field(default_factory=list)
+    lock_exprs: set[str] = field(default_factory=set)
+
+
+def _scan_frame(
+    project: Project,
+    graph: CallGraph,
+    class_locks: dict[str, set[str]],
+    info: FunctionInfo,
+) -> _FrameScan:
+    scan = _FrameScan(info=info)
+    scan.nodes = list(walk_frame(info.node))
+    site_index = {
+        (site.line, site.col): site.callee
+        for site in graph.calls_in.get(info.qualname, [])
+        if site.kind == "function"
+    }
+    imports = project.imports.get(info.module, {})
+
+    # Lock expressions visible in this frame: own guarded attributes,
+    # locks on annotated-parameter classes, and local constructions.
+    if info.class_name is not None:
+        own = class_locks.get(f"{info.module}.{info.class_name}", set())
+        scan.lock_exprs |= {f"self.{attr}" for attr in own}
+    for name, cls in local_class_types(info.node, info.module, project).items():
+        for attr in class_locks.get(cls.qualname, set()):
+            scan.lock_exprs.add(f"{name}.{attr}")
+    for node in scan.nodes:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and resolve_imported_target(project, info.module, node.value)
+            in _THREADING_LOCK_CTORS
+        ):
+            scan.lock_exprs.add(node.targets[0].id)
+
+    for node in scan.nodes:
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            scan.awaited_calls.add(id(node.value))
+
+    for node in scan.nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        hit = _classify_sink(project, info.module, imports, scan, node)
+        if hit is not None:
+            scan.sink_hits.append(hit)
+            continue
+        callee = site_index.get(
+            (getattr(node, "lineno", -1), getattr(node, "col_offset", -1))
+        )
+        if callee is not None:
+            scan.project_calls.append((node, callee))
+    return scan
+
+
+def _classify_sink(
+    project: Project,
+    module: str,
+    imports: dict[str, str],
+    scan: _FrameScan,
+    call: ast.Call,
+) -> _SinkHit | None:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        if attr == "acquire":
+            receiver = dotted_name(func.value)
+            if receiver in scan.lock_exprs and id(call) not in scan.awaited_calls:
+                return _SinkHit(
+                    display=f"{receiver}.acquire",
+                    why=BLOCKING_METHOD_SINKS["acquire"],
+                    node=call,
+                )
+            # ``await x.acquire()`` (asyncio) or unknown receiver.
+        elif attr in BLOCKING_METHOD_SINKS and id(call) not in scan.awaited_calls:
+            return _SinkHit(
+                display=f".{attr}",
+                why=BLOCKING_METHOD_SINKS[attr],
+                node=call,
+            )
+    target = resolve_imported_target(project, module, call)
+    if target in BLOCKING_CALLABLE_SINKS:
+        return _SinkHit(
+            display=target,
+            why=BLOCKING_CALLABLE_SINKS[target],
+            node=call,
+        )
+    if (
+        isinstance(func, ast.Name)
+        and func.id in BLOCKING_BUILTIN_SINKS
+        and func.id not in imports
+        and project.resolve_name(module, func.id) is None
+    ):
+        return _SinkHit(
+            display=func.id,
+            why=BLOCKING_BUILTIN_SINKS[func.id],
+            node=call,
+        )
+    return None
+
+
+def _blocking_fixpoint(
+    project: Project, scans: dict[str, _FrameScan]
+) -> dict[str, _BlockInfo]:
+    """Sync project functions that (transitively) reach a sink."""
+    blocking: dict[str, _BlockInfo] = {}
+    for qualname in sorted(scans):
+        scan = scans[qualname]
+        if scan.info.is_async or not scan.sink_hits:
+            continue
+        first = min(
+            scan.sink_hits,
+            key=lambda hit: (hit.node.lineno, hit.node.col_offset),
+        )
+        blocking[qualname] = _BlockInfo(
+            why=first.why, chain=(first.display,)
+        )
+    for _ in range(_MAX_FIXPOINT_PASSES):
+        changed = False
+        for qualname in sorted(scans):
+            scan = scans[qualname]
+            if scan.info.is_async or qualname in blocking:
+                continue
+            for _node, callee in scan.project_calls:
+                info = blocking.get(callee)
+                if info is None or project.functions[callee].is_async:
+                    continue
+                simple = callee.rsplit(".", 1)[-1]
+                chain = (f"{simple}()", *info.chain)[:_MAX_CHAIN]
+                blocking[qualname] = _BlockInfo(why=info.why, chain=chain)
+                changed = True
+                break
+        if not changed:
+            break
+    return blocking
+
+
+def _finding(info: FunctionInfo, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=info.context.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+# --- RPR501 -----------------------------------------------------------
+
+
+def _blocking_findings(
+    project: Project,
+    graph: CallGraph,
+    scans: dict[str, _FrameScan],
+    blocking: dict[str, _BlockInfo],
+) -> Iterator[tuple[str, Finding]]:
+    for qualname in sorted(scans):
+        scan = scans[qualname]
+        if not scan.info.is_async:
+            continue
+        for hit in scan.sink_hits:
+            yield (
+                "RPR501",
+                _finding(
+                    scan.info,
+                    hit.node,
+                    "RPR501",
+                    f"blocking call {hit.display}() on the event loop "
+                    f"({hit.why}); wrap it in run_in_executor/to_thread "
+                    "or use an async equivalent",
+                ),
+            )
+        for node, callee in scan.project_calls:
+            info = blocking.get(callee)
+            if info is None or project.functions[callee].is_async:
+                continue
+            simple = callee.rsplit(".", 1)[-1]
+            path = " -> ".join((f"{simple}()", *info.chain))
+            yield (
+                "RPR501",
+                _finding(
+                    scan.info,
+                    node,
+                    "RPR501",
+                    f"call to {simple}() blocks the event loop: {path} "
+                    f"({info.why}); hand the blocking work to "
+                    "run_in_executor/to_thread",
+                ),
+            )
+    # Event-loop callbacks run on the loop no matter who registers
+    # them; a blocking callback stalls every request in flight.
+    for site in graph.calls:
+        if site.kind != "callback":
+            continue
+        info = blocking.get(site.callee)
+        callee_info = project.functions.get(site.callee)
+        if info is None or callee_info is None or callee_info.is_async:
+            continue
+        simple = site.callee.rsplit(".", 1)[-1]
+        path = " -> ".join((f"{simple}()", *info.chain))
+        yield (
+            "RPR501",
+            Finding(
+                path=site.path,
+                line=site.line,
+                col=site.col,
+                code="RPR501",
+                message=(
+                    f"callback {simple}() scheduled on the event loop "
+                    f"blocks: {path} ({info.why}); schedule non-blocking "
+                    "work or hand it to run_in_executor"
+                ),
+            ),
+        )
+
+
+# --- RPR502 -----------------------------------------------------------
+
+
+def _unawaited_findings(
+    project: Project,
+    graph: CallGraph,
+    scans: dict[str, _FrameScan],
+) -> Iterator[tuple[str, Finding]]:
+    for qualname in sorted(scans):
+        scan = scans[qualname]
+        site_index = {
+            (getattr(node, "lineno", -1), getattr(node, "col_offset", -1)): callee
+            for node, callee in scan.project_calls
+        }
+        for node in scan.nodes:
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            callee = site_index.get((call.lineno, call.col_offset))
+            if callee is not None and project.functions[callee].is_async:
+                simple = callee.rsplit(".", 1)[-1]
+                yield (
+                    "RPR502",
+                    _finding(
+                        scan.info,
+                        call,
+                        "RPR502",
+                        f"coroutine {simple}() is called but its result is "
+                        "discarded without await — the coroutine never runs",
+                    ),
+                )
+                continue
+            target = resolve_imported_target(project, scan.info.module, call)
+            func = call.func
+            is_spawn = target in _TASK_SPAWNERS or (
+                isinstance(func, ast.Attribute)
+                and func.attr in _TASK_SPAWN_ATTRS
+            )
+            if is_spawn:
+                yield (
+                    "RPR502",
+                    _finding(
+                        scan.info,
+                        call,
+                        "RPR502",
+                        "task reference dropped: retain the "
+                        "ensure_future/create_task result (and discard it "
+                        "via a done-callback) or it can be garbage-"
+                        "collected mid-flight",
+                    ),
+                )
+                continue
+            if target in _ASYNCIO_AWAITABLES:
+                tail = target.rsplit(".", 1)[-1]
+                yield (
+                    "RPR502",
+                    _finding(
+                        scan.info,
+                        call,
+                        "RPR502",
+                        f"awaitable asyncio.{tail}(...) discarded without "
+                        "await — it never executes",
+                    ),
+                )
+    # A coroutine function handed to a plain-callback or executor API
+    # is called there, producing a coroutine object nobody awaits.
+    for site in graph.calls:
+        if site.kind not in ("callback", "executor"):
+            continue
+        callee_info = project.functions.get(site.callee)
+        if callee_info is None or not callee_info.is_async:
+            continue
+        simple = site.callee.rsplit(".", 1)[-1]
+        where = (
+            "an event-loop callback"
+            if site.kind == "callback"
+            else "an executor"
+        )
+        yield (
+            "RPR502",
+            Finding(
+                path=site.path,
+                line=site.line,
+                col=site.col,
+                code="RPR502",
+                message=(
+                    f"coroutine function {simple}() registered as {where} "
+                    "target — it would never be awaited; pass a sync "
+                    "callable or create_task the coroutine"
+                ),
+            ),
+        )
+
+
+# --- RPR503 -----------------------------------------------------------
+
+
+class _LockSpanScanner:
+    """Find threading-lock regions spanning suspension points.
+
+    Statement lists are processed in order so manual ``acquire()`` /
+    ``release()`` pairs track like ``with`` regions; held state is
+    block-local (an acquire inside an ``if`` arm does not leak out —
+    best-effort, biased to silence).
+    """
+
+    def __init__(self, scan: _FrameScan) -> None:
+        self.scan = scan
+        self.findings: list[tuple[str, ast.AST, ast.AST, str]] = []
+
+    def run(self) -> list[tuple[str, ast.AST, ast.AST, str]]:
+        self._visit_block(self.scan.info.node.body, {})
+        return self.findings
+
+    # -- helpers -------------------------------------------------------
+
+    def _lock_key(self, expr: ast.AST) -> str | None:
+        name = dotted_name(expr)
+        if name is not None and name in self.scan.lock_exprs:
+            return name
+        return None
+
+    def _lock_method_target(
+        self, stmt: ast.stmt, method: str
+    ) -> str | None:
+        if not isinstance(stmt, ast.Expr) or not isinstance(
+            stmt.value, ast.Call
+        ):
+            return None
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr == method:
+            return self._lock_key(func.value)
+        return None
+
+    def _suspend(
+        self, node: ast.AST, label: str, held: dict[str, ast.AST]
+    ) -> None:
+        for lock, acquired_at in held.items():
+            self.findings.append((lock, acquired_at, node, label))
+
+    def _check_expr(self, node: ast.AST, held: dict[str, ast.AST]) -> None:
+        if not held:
+            return
+        for suspension, label in iter_suspension_points(node):
+            self._suspend(suspension, label, held)
+
+    # -- traversal -----------------------------------------------------
+
+    def _visit_block(
+        self, stmts: list[ast.stmt], held: dict[str, ast.AST]
+    ) -> None:
+        held = dict(held)
+        for stmt in stmts:
+            acquired = self._lock_method_target(stmt, "acquire")
+            if acquired is not None:
+                held[acquired] = stmt
+                continue
+            released = self._lock_method_target(stmt, "release")
+            if released is not None:
+                held.pop(released, None)
+                continue
+            self._visit_stmt(stmt, held)
+
+    def _visit_stmt(self, stmt: ast.stmt, held: dict[str, ast.AST]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested frames suspend themselves, not this one
+        if isinstance(stmt, ast.With):
+            inner = dict(held)
+            for item in stmt.items:
+                self._check_expr(item.context_expr, held)
+                key = self._lock_key(item.context_expr)
+                if key is not None:
+                    inner[key] = stmt
+            self._visit_block(stmt.body, inner)
+            return
+        if isinstance(stmt, ast.AsyncWith):
+            self._suspend(stmt, "async with", held)
+            self._visit_block(stmt.body, held)
+            return
+        if isinstance(stmt, ast.AsyncFor):
+            self._suspend(stmt, "async for", held)
+            self._visit_block(stmt.body, held)
+            self._visit_block(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.While)):
+            test = stmt.iter if isinstance(stmt, ast.For) else stmt.test
+            self._check_expr(test, held)
+            self._visit_block(stmt.body, held)
+            self._visit_block(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.If):
+            self._check_expr(stmt.test, held)
+            self._visit_block(stmt.body, held)
+            self._visit_block(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body, held)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body, held)
+            self._visit_block(stmt.orelse, held)
+            self._visit_block(stmt.finalbody, held)
+            return
+        self._check_expr(stmt, held)
+
+
+def _lock_span_findings(
+    scans: dict[str, _FrameScan],
+) -> Iterator[tuple[str, Finding]]:
+    for qualname in sorted(scans):
+        scan = scans[qualname]
+        if not scan.info.is_async or not scan.lock_exprs:
+            continue
+        for lock, acquired_at, suspension, label in _LockSpanScanner(scan).run():
+            yield (
+                "RPR503",
+                _finding(
+                    scan.info,
+                    suspension,
+                    "RPR503",
+                    f"threading lock '{lock}' (acquired at line "
+                    f"{getattr(acquired_at, 'lineno', '?')}) held across "
+                    f"'{label}' — the coroutine suspends holding a thread "
+                    "lock; use asyncio.Lock or release before suspending",
+                ),
+            )
+
+
+# --- RPR504 -----------------------------------------------------------
+
+
+def _is_future_creation(
+    project: Project, module: str, call: ast.Call
+) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "create_future":
+        return True
+    return resolve_imported_target(project, module, call) in _FUTURE_CTORS
+
+
+def _contains_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == name
+        for child in ast.walk(node)
+    )
+
+
+def _future_findings(
+    project: Project, scans: dict[str, _FrameScan]
+) -> Iterator[tuple[str, Finding]]:
+    for qualname in sorted(scans):
+        scan = scans[qualname]
+        creations: dict[str, ast.Assign] = {}
+        for node in scan.nodes:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and _is_future_creation(project, scan.info.module, node.value)
+            ):
+                creations.setdefault(node.targets[0].id, node)
+        if not creations:
+            continue
+        for name, creation in sorted(creations.items()):
+            yield from _check_future_lifecycle(scan, name, creation)
+
+
+def _check_future_lifecycle(
+    scan: _FrameScan, name: str, creation: ast.Assign
+) -> Iterator[tuple[str, Finding]]:
+    resolutions: list[ast.Call] = []
+    handed_off = False
+    for node in scan.nodes:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RESOLVING_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                resolutions.append(node)
+                continue
+            for argument in (*node.args, *(kw.value for kw in node.keywords)):
+                if _contains_name(argument, name):
+                    handed_off = True
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _contains_name(node.value, name):
+                handed_off = True
+        elif isinstance(node, ast.Assign) and node is not creation:
+            if _contains_name(node.value, name):
+                handed_off = True
+    if handed_off:
+        return
+    if not resolutions:
+        yield (
+            "RPR504",
+            _finding(
+                scan.info,
+                creation,
+                "RPR504",
+                f"future '{name}' is never resolved, cancelled, or handed "
+                "off — any awaiter hangs forever; set a result/exception "
+                "on every path or pass the future to its resolver",
+            ),
+        )
+        return
+    # Exception-path completeness: a resolution inside a try body needs
+    # a resolving except/finally, or the raising path leaks the future.
+    trys = [node for node in scan.nodes if isinstance(node, ast.Try)]
+    for resolution in resolutions:
+        enclosing = [
+            t
+            for t in trys
+            if any(
+                resolution in ast.walk(stmt) for stmt in t.body
+            )
+        ]
+        if not enclosing:
+            continue
+        rescued = False
+        for t in enclosing:
+            rescue_region = [
+                *(stmt for handler in t.handlers for stmt in handler.body),
+                *t.finalbody,
+            ]
+            for stmt in rescue_region:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _RESOLVING_ATTRS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == name
+                    ):
+                        rescued = True
+        if not rescued:
+            yield (
+                "RPR504",
+                _finding(
+                    scan.info,
+                    resolution,
+                    "RPR504",
+                    f"future '{name}' resolved inside 'try' with no "
+                    "set_exception/cancel in except/finally — an exception "
+                    "before resolution leaves the awaiter hanging",
+                ),
+            )
+
+
+# --- driver + registered rules ---------------------------------------
+
+
+def _analyze_project(
+    project: Project, graph: CallGraph
+) -> list[tuple[str, Finding]]:
+    class_locks = _collect_class_locks(project)
+    scans = {
+        qualname: _scan_frame(project, graph, class_locks, info)
+        for qualname, info in project.functions.items()
+    }
+    blocking = _blocking_fixpoint(project, scans)
+    results: list[tuple[str, Finding]] = []
+    results.extend(_blocking_findings(project, graph, scans, blocking))
+    results.extend(_unawaited_findings(project, graph, scans))
+    results.extend(_lock_span_findings(scans))
+    results.extend(_future_findings(project, scans))
+    return results
+
+
+# One analysis serves four registered codes; cache per project object.
+_CACHE: dict[int, tuple[Project, list[tuple[str, Finding]]]] = {}
+
+
+def _cached_analysis(
+    project: Project, graph: CallGraph
+) -> list[tuple[str, Finding]]:
+    cached = _CACHE.get(id(project))
+    if cached is not None and cached[0] is project:
+        return cached[1]
+    results = _analyze_project(project, graph)
+    _CACHE.clear()  # keep at most one project alive
+    _CACHE[id(project)] = (project, results)
+    return results
+
+
+class _AsyncRule(ProjectRule):
+    """Shared driver; subclasses select one code."""
+
+    scopes = frozenset({"src"})
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Finding]:
+        for code, finding in _cached_analysis(project, graph):
+            if code == self.code:
+                yield finding
+
+
+@register_rule
+class EventLoopBlockingCall(_AsyncRule):
+    """RPR501: blocking sink reachable on the event loop."""
+
+    code = "RPR501"
+    name = "event-loop-blocking-call"
+    description = (
+        "blocking sink (sleep/socket/file/subprocess/lock-acquire or a "
+        "declared heavy entry point) called from an async frame or an "
+        "event-loop callback; run_in_executor/to_thread is the "
+        "sanctioned escape hatch"
+    )
+
+
+@register_rule
+class UnawaitedAwaitable(_AsyncRule):
+    """RPR502: awaitable produced and discarded."""
+
+    code = "RPR502"
+    name = "unawaited-awaitable"
+    description = (
+        "coroutine call discarded without await, create_task/"
+        "ensure_future result dropped, or a coroutine function "
+        "registered where a plain callable belongs"
+    )
+
+
+@register_rule
+class LockHeldAcrossAwait(_AsyncRule):
+    """RPR503: threading lock held across a suspension point."""
+
+    code = "RPR503"
+    name = "lock-across-await"
+    description = (
+        "with-lock region or manual acquire()/release() span contains "
+        "an await/async-for/async-with; a suspended coroutine holding "
+        "a thread lock deadlocks the loop under contention"
+    )
+
+
+@register_rule
+class IncompleteFutureLifecycle(_AsyncRule):
+    """RPR504: created future not resolved on every path."""
+
+    code = "RPR504"
+    name = "future-lifecycle"
+    description = (
+        "loop.create_future()/Future() object neither resolved, "
+        "cancelled, nor handed off — or set_result unpaired with "
+        "set_exception/cancel on exception paths"
+    )

@@ -20,6 +20,17 @@ run:
   a parameter annotation or a constructor assignment in the same
   function (``index = EventIndex(); index.upsert(...)``).
 
+Beyond ordinary calls the graph records two *reference* edge kinds the
+async-safety pass (RPR5xx) consumes:
+
+* ``kind="executor"`` — a project function handed to
+  ``loop.run_in_executor(...)`` / ``asyncio.to_thread(...)``: it runs
+  on a worker thread, so blocking there is sanctioned.
+* ``kind="callback"`` — a project function registered via
+  ``loop.call_soon/call_later/call_at/call_soon_threadsafe`` or
+  ``add_done_callback``: it runs *on the event loop*, so blocking
+  there stalls every request in flight.
+
 Resolution is deliberately best-effort: anything dynamic (globals(),
 getattr, decorators returning new callables, inheritance dispatch)
 stays unresolved and the dependent passes simply know less.  That is
@@ -45,7 +56,21 @@ __all__ = [
     "CallGraph",
     "build_project",
     "local_class_types",
+    "dotted_name",
+    "resolve_imported_target",
 ]
+
+# Scheduling APIs taking a function *reference*: name → index of the
+# callable argument.  Executor targets run on a worker thread;
+# callback targets run on the event loop itself.
+_EXECUTOR_METHODS = {"run_in_executor": 1, "to_thread": 0}
+_CALLBACK_METHODS = {
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+    "add_done_callback": 0,
+}
 
 
 def module_name_for_path(path: str | Path) -> str:
@@ -84,6 +109,10 @@ class FunctionInfo:
         return self.class_name is not None
 
     @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
     def params(self) -> list[str]:
         args = self.node.args
         return [
@@ -110,8 +139,12 @@ class CallSite:
 
     ``caller`` is the qualified name of the enclosing function/method,
     or ``<module>.<body>`` for module-level statements.  ``kind`` is
-    ``"function"`` for calls resolved to a project function/method and
-    ``"class"`` for constructor calls resolved to a project class.
+    ``"function"`` for calls resolved to a project function/method,
+    ``"class"`` for constructor calls resolved to a project class,
+    ``"executor"`` for a function reference submitted to an executor
+    (``run_in_executor``/``to_thread``), and ``"callback"`` for a
+    function reference scheduled to run on the event loop
+    (``call_soon``/``call_later``/``add_done_callback`` and friends).
     """
 
     caller: str
@@ -330,7 +363,7 @@ def local_class_types(
     return types
 
 
-def _dotted_name(node: ast.AST) -> str | None:
+def dotted_name(node: ast.AST) -> str | None:
     """``a.b.c`` attribute chain as a dotted string, else None."""
     parts: list[str] = []
     while isinstance(node, ast.Attribute):
@@ -340,6 +373,39 @@ def _dotted_name(node: ast.AST) -> str | None:
         return None
     parts.append(node.id)
     return ".".join(reversed(parts))
+
+
+_dotted_name = dotted_name
+
+
+def resolve_imported_target(
+    project: Project, module: str, call: ast.Call
+) -> str | None:
+    """Dotted target of a call through the module's import map.
+
+    Unlike call-graph resolution this does not require the target to
+    be part of the analyzed project — stdlib and numpy targets resolve
+    too (``import time`` + ``time.sleep(...)`` → ``"time.sleep"``).
+    Used by the taint and async-safety passes to match declared
+    source/sink registries.
+    """
+    imports = project.imports.get(module, {})
+    func = call.func
+    if isinstance(func, ast.Name):
+        return imports.get(func.id, f"{module}.{func.id}")
+    if isinstance(func, ast.Attribute):
+        parts: list[str] = []
+        node: ast.AST = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = imports.get(node.id)
+        if head is None:
+            return None
+        return ".".join([head, *reversed(parts)])
+    return None
 
 
 class CallGraph:
@@ -384,14 +450,27 @@ class CallGraph:
         local_types: dict[str, ClassInfo],
         node: ast.Call,
     ) -> None:
-        callee, kind = self._resolve_callee(module, enclosing, local_types, node)
-        if callee is None:
-            return
         caller = (
             enclosing.qualname
             if enclosing is not None
             else _module_body_qualname(module)
         )
+        callee, kind = self._resolve_callee(module, enclosing, local_types, node)
+        if callee is not None:
+            self._record(caller, callee, kind, context, node)
+        for target, ref_kind in self._reference_edges(
+            module, enclosing, local_types, node
+        ):
+            self._record(caller, target, ref_kind, context, node)
+
+    def _record(
+        self,
+        caller: str,
+        callee: str,
+        kind: str,
+        context: FileContext,
+        node: ast.Call,
+    ) -> None:
         site = CallSite(
             caller=caller,
             callee=callee,
@@ -403,6 +482,78 @@ class CallGraph:
         self.calls.append(site)
         self.calls_in[caller].append(site)
         self.callers_of[callee].append(site)
+
+    def _reference_edges(
+        self,
+        module: str,
+        enclosing: FunctionInfo | None,
+        local_types: dict[str, ClassInfo],
+        node: ast.Call,
+    ) -> Iterator[tuple[str, str]]:
+        """Executor/callback edges for function references in ``node``.
+
+        ``loop.run_in_executor(None, fn, ...)`` does not *call* ``fn``
+        at the site, but the reference determines where ``fn`` later
+        runs (worker thread vs event loop) — exactly what the
+        async-safety pass needs to know.
+        """
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return
+        if name in _EXECUTOR_METHODS:
+            index, ref_kind = _EXECUTOR_METHODS[name], "executor"
+        elif name in _CALLBACK_METHODS:
+            index, ref_kind = _CALLBACK_METHODS[name], "callback"
+        else:
+            return
+        if index >= len(node.args):
+            return
+        target = self._resolve_reference(
+            module, enclosing, local_types, node.args[index]
+        )
+        if target is not None:
+            yield target, ref_kind
+
+    def _resolve_reference(
+        self,
+        module: str,
+        enclosing: FunctionInfo | None,
+        local_types: dict[str, ClassInfo],
+        node: ast.AST,
+    ) -> str | None:
+        """A bare function reference resolved to a project function."""
+        if isinstance(node, ast.Name):
+            resolved = self.project.resolve_name(module, node.id)
+            if resolved in self.project.functions:
+                return resolved
+            return None
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and enclosing is not None
+                and enclosing.class_name is not None
+            ):
+                cls = self.project.classes.get(
+                    f"{module}.{enclosing.class_name}"
+                )
+                if cls is not None and node.attr in cls.methods:
+                    return cls.methods[node.attr].qualname
+                return None
+            if isinstance(node.value, ast.Name):
+                cls = local_types.get(node.value.id)
+                if cls is not None and node.attr in cls.methods:
+                    return cls.methods[node.attr].qualname
+            dotted = dotted_name(node)
+            if dotted is not None:
+                resolved = self.project.resolve_dotted(module, dotted)
+                if resolved in self.project.functions:
+                    return resolved
+        return None
 
     def _resolve_callee(
         self,

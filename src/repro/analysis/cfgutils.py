@@ -1,0 +1,118 @@
+"""Frame-local AST walking for the async-safety pass (RPR5xx).
+
+``ast.walk`` sees *lexical* structure; the async rules need
+*execution* structure: which nodes run as part of the current frame,
+on the current thread.  Three things differ:
+
+* **Nested defs and lambdas** execute later, in a frame of their own —
+  a ``time.sleep`` inside a closure handed to ``run_in_executor`` does
+  not block the event loop when the enclosing ``async def`` runs.
+* **Executor-submission arguments** (``loop.run_in_executor(None, fn,
+  *args)`` / ``asyncio.to_thread(fn, *args)``) execute on a worker
+  thread: the sanctioned escape hatch for blocking work.  Anything
+  inside those argument subtrees is exempt from blocking checks.
+* **Suspension points** (``await`` / ``async for`` / ``async with``)
+  are where the coroutine yields the loop — the exact places a held
+  ``threading.Lock`` turns into a deadlock ingredient.
+
+These helpers are deliberately approximate in the usual linter
+direction: when execution context cannot be determined statically the
+node is treated as non-blocking/non-suspending — silence, not false
+alarms.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "FRAME_BOUNDARY_NODES",
+    "is_executor_submission",
+    "walk_frame",
+    "iter_suspension_points",
+    "suspension_label",
+]
+
+#: Nodes whose bodies execute in a different frame (later, elsewhere).
+FRAME_BOUNDARY_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+_EXECUTOR_NAMES = frozenset({"run_in_executor", "to_thread"})
+
+
+def is_executor_submission(call: ast.Call) -> bool:
+    """True when ``call`` submits work to an executor thread.
+
+    Matches ``<anything>.run_in_executor(...)``,
+    ``<anything>.to_thread(...)`` and a bare ``to_thread(...)`` (from
+    ``from asyncio import to_thread``).  Receiver types are not
+    checked: no other API in this codebase uses those names, and a
+    false "sanctioned" only mutes a finding.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _EXECUTOR_NAMES
+    if isinstance(func, ast.Name):
+        return func.id in _EXECUTOR_NAMES
+    return False
+
+
+def walk_frame(
+    root: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    skip_executor_args: bool = True,
+) -> Iterator[ast.AST]:
+    """Yield every node executing in ``root``'s own frame.
+
+    Descends the function body but not into nested def/lambda bodies
+    (yielding the boundary node itself so callers can see it exists),
+    and — when ``skip_executor_args`` — not into the argument subtrees
+    of executor submissions.  Decorators and parameter defaults are
+    excluded too: they run at definition time in the *enclosing*
+    frame.
+    """
+    stack: list[ast.AST] = list(reversed(root.body))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, FRAME_BOUNDARY_NODES):
+            continue
+        if (
+            skip_executor_args
+            and isinstance(node, ast.Call)
+            and is_executor_submission(node)
+        ):
+            # The callable and its arguments run on a worker thread;
+            # only the receiver expression evaluates here.
+            stack.append(node.func)
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def iter_suspension_points(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """(node, label) for each suspension point within ``node``.
+
+    Does not descend into nested def/lambda bodies — an ``await``
+    inside a nested ``async def`` suspends *that* coroutine, not the
+    frame under analysis.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(current, FRAME_BOUNDARY_NODES):
+            continue
+        label = suspension_label(current)
+        if label is not None:
+            yield current, label
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def suspension_label(node: ast.AST) -> str | None:
+    """Human label when ``node`` is a suspension point, else None."""
+    if isinstance(node, ast.Await):
+        return "await"
+    if isinstance(node, ast.AsyncFor):
+        return "async for"
+    if isinstance(node, ast.AsyncWith):
+        return "async with"
+    return None

@@ -37,7 +37,12 @@ import ast
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 
-from repro.analysis.callgraph import CallGraph, FunctionInfo, Project
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    Project,
+    resolve_imported_target,
+)
 from repro.analysis.engine import Finding, ProjectRule, register_rule
 from repro.analysis.rules import _LEGACY_RNG
 
@@ -96,31 +101,8 @@ class TaintSummary:
         )
 
 
-def _resolve_imported_target(
-    project: Project, module: str, call: ast.Call
-) -> str | None:
-    """Dotted target of a call through the module's import map.
-
-    Unlike the call graph this does not require the target to be part
-    of the analyzed project — stdlib and numpy targets resolve too.
-    """
-    imports = project.imports.get(module, {})
-    func = call.func
-    if isinstance(func, ast.Name):
-        return imports.get(func.id, f"{module}.{func.id}")
-    if isinstance(func, ast.Attribute):
-        parts: list[str] = []
-        node: ast.AST = func
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        head = imports.get(node.id)
-        if head is None:
-            return None
-        return ".".join([head, *reversed(parts)])
-    return None
+# Shared with the async-safety pass; historically lived here.
+_resolve_imported_target = resolve_imported_target
 
 
 def _source_kind(project: Project, module: str, call: ast.Call) -> str | None:

@@ -217,9 +217,11 @@ def _ensure_rules_loaded() -> None:
     # Importing the rule modules populates the registry; local import
     # breaks the engine <-> rules cycle.
     from repro.analysis import (  # noqa: F401
+        asyncrules,
         dataflow,
         determinism,
         locks,
+        routestatus,
         rules,
         static_shapes,
     )

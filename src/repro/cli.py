@@ -319,6 +319,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule registry and exit",
     )
+    analyze.add_argument(
+        "--changed", action="store_true",
+        help="only analyze files changed vs --ref plus untracked files",
+    )
+    analyze.add_argument(
+        "--ref", default="origin/main", metavar="GITREF",
+        help="git ref --changed diffs against (default: origin/main)",
+    )
     return parser
 
 
@@ -845,6 +853,7 @@ def _cmd_analyze(args) -> int:
         output_format=args.format,
         select=select,
         report_unused_suppressions=not args.no_unused_noqa,
+        changed_vs=args.ref if args.changed else None,
     )
 
 

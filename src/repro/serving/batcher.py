@@ -146,19 +146,19 @@ class MicroBatcher:
         # A waiter cancelled while queued cancels its future; drop it
         # here so the runner never computes for it.
         live = [(item, future) for item, future in batch if not future.cancelled()]
-        self.registry.counter(
-            "repro_serving_batch_flush_total", tags={"reason": reason}
-        ).inc()
-        self.registry.histogram(
-            "repro_serving_batch_users", buckets=_SIZE_BUCKETS
-        ).observe(len(live))
-        if not live:
-            return
-        self.batches_flushed += 1
-        self.requests_batched += len(live)
-        items = [item for item, _ in live]
-        loop = asyncio.get_running_loop()
         try:
+            self.registry.counter(
+                "repro_serving_batch_flush_total", tags={"reason": reason}
+            ).inc()
+            self.registry.histogram(
+                "repro_serving_batch_users", buckets=_SIZE_BUCKETS
+            ).observe(len(live))
+            if not live:
+                return
+            self.batches_flushed += 1
+            self.requests_batched += len(live)
+            items = [item for item, _ in live]
+            loop = asyncio.get_running_loop()
             with span(
                 "repro_serving_batch_execute",
                 tags={"reason": reason},
@@ -180,9 +180,12 @@ class MicroBatcher:
                     f"for {len(items)} items"
                 )
         except Exception as error:
-            # Runner-level failure: the whole batch shares the error.
+            # Runner-level failure (including telemetry raising before
+            # the runner even started): the whole batch shares the
+            # error — every live future MUST resolve or its submitter
+            # hangs forever.  ``done()`` guards a racing cancellation.
             for _, future in live:
-                if not future.cancelled():
+                if not future.done():
                     future.set_exception(error)
             return
         for (_, future), result in zip(live, results):

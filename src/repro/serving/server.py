@@ -293,7 +293,13 @@ class ServingServer:
         }
 
     async def metrics(self, payload: Any) -> tuple[int, Any]:
-        text = render_prometheus(self.registry.snapshot())
+        # Rendering walks the whole registry; at high series counts
+        # that is milliseconds of string work, so it runs off-loop
+        # (RPR501 flags it inline).
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(
+            None, lambda: render_prometheus(self.registry.snapshot())
+        )
         return 200, text
 
     # -- dispatch ------------------------------------------------------
@@ -304,6 +310,17 @@ class ServingServer:
         "/similar-events": ("POST", "similar_events"),
         "/healthz": ("GET", "healthz"),
         "/metrics": ("GET", "metrics"),
+    }
+
+    # Status contract per route, enforced statically (RPR110): a
+    # handler may only produce codes declared here.  404/405/500 from
+    # the dispatch layer itself are route-independent and not listed.
+    ROUTE_STATUSES: dict[str, frozenset[int]] = {
+        "/recommend": frozenset({200, 400, 404, 422, 503}),
+        "/score": frozenset({200, 400, 404, 422}),
+        "/similar-events": frozenset({200, 400, 404, 422}),
+        "/healthz": frozenset({200, 503}),
+        "/metrics": frozenset({200}),
     }
 
     async def dispatch(self, request: HttpRequest) -> tuple[int, Any, str]:

@@ -143,6 +143,63 @@ class TestSuppressions:
         assert "malformed" in findings[0].message
 
 
+class TestAsyncAndDecoratorNoqa:
+    """Suppression semantics on ``async def`` and decorator lines.
+
+    RPR110 reports at the handler's ``def`` line, which makes it the
+    natural probe: the contract table stays fixed and only the noqa
+    placement varies.
+    """
+
+    TABLE = (
+        "class S:\n"
+        "    ROUTES = {'/a': ('GET', 'a')}\n"
+        "    ROUTE_STATUSES = {'/a': frozenset({200})}\n"
+    )
+
+    def test_inline_noqa_on_async_def_line_suppresses(self):
+        source = self.TABLE + (
+            "    async def a(self, payload):  # repro: noqa[RPR110] wip\n"
+            "        return 418, {}\n"
+        )
+        assert analyze_source(source, SRC) == []
+
+    def test_standalone_noqa_above_async_def_suppresses(self):
+        source = self.TABLE + (
+            "    # repro: noqa[RPR110] contract intentionally stale\n"
+            "    async def a(self, payload):\n"
+            "        return 418, {}\n"
+        )
+        assert analyze_source(source, SRC) == []
+
+    def test_standalone_noqa_above_decorator_targets_decorator_line(self):
+        # The comment binds to the next line — the decorator — not the
+        # ``async def`` two lines down where the finding lands: the
+        # finding survives and the noqa is reported stale.
+        source = (
+            "def passthrough(f):\n"
+            "    return f\n"
+            + self.TABLE
+            + "    # repro: noqa[RPR110] binds to the decorator line\n"
+            "    @passthrough\n"
+            "    async def a(self, payload):\n"
+            "        return 418, {}\n"
+        )
+        codes = {f.code for f in analyze_source(source, SRC)}
+        assert codes == {"RPR110", "RPR100"}
+
+    def test_inline_noqa_on_decorated_async_def_line_suppresses(self):
+        source = (
+            "def passthrough(f):\n"
+            "    return f\n"
+            + self.TABLE
+            + "    @passthrough\n"
+            "    async def a(self, payload):  # repro: noqa[RPR110] ok\n"
+            "        return 418, {}\n"
+        )
+        assert analyze_source(source, SRC) == []
+
+
 class TestSyntaxError:
     def test_rpr999_instead_of_exception(self):
         findings = analyze_source("def f(:\n", SRC)

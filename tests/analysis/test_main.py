@@ -111,6 +111,79 @@ class TestArgparseEntry:
         assert document["version"] == "2.1.0"
 
 
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    """A real git repo with one committed clean file, cwd'd into."""
+    import subprocess
+
+    def git(*argv):
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+             *argv],
+            cwd=tmp_path, check=True, capture_output=True, text=True,
+        )
+
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "committed.py").write_text(CLEAN)
+    git("init", "-q", "-b", "main")
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return package
+
+
+class TestChangedMode:
+    def test_changed_skips_unchanged_dirty_files(self, git_repo, capsys):
+        # Untracked: seen (exit 1).  Committed with no further edits:
+        # invisible to --changed vs HEAD (0 files scanned, exit 0).
+        (git_repo / "dirty.py").write_text(DIRTY)
+        assert analysis_main(["src", "--changed", "--ref", "HEAD"]) == 1
+        capsys.readouterr()
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+             "add", "-A"],
+            check=True, capture_output=True,
+        )
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+             "commit", "-q", "-m", "add dirty"],
+            check=True, capture_output=True,
+        )
+        assert analysis_main(["src", "--changed", "--ref", "HEAD"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_changed_sees_modified_and_untracked_files(self, git_repo, capsys):
+        (git_repo / "committed.py").write_text(DIRTY)  # modified
+        (git_repo / "fresh.py").write_text(DIRTY)  # untracked
+        assert analysis_main(["src", "--changed", "--ref", "HEAD"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("RPR104") >= 2
+
+    def test_bad_ref_is_a_usage_error(self, git_repo, capsys):
+        assert analysis_main(["src", "--changed", "--ref", "no-such-ref"]) == 2
+        assert "failed" in capsys.readouterr().err
+
+    def test_outside_git_repo_is_a_usage_error(self, tmp_path, monkeypatch,
+                                               capsys):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "clean.py").write_text(CLEAN)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nowhere"))
+        assert analysis_main(["src", "--changed"]) == 2
+        capsys.readouterr()
+
+    def test_cli_subcommand_passthrough(self, git_repo, capsys):
+        (git_repo / "fresh.py").write_text(DIRTY)
+        assert cli_main(
+            ["analyze", "src", "--changed", "--ref", "HEAD"]
+        ) == 1
+        assert "RPR104" in capsys.readouterr().out
+
+
 class TestCliSubcommand:
     def test_analyze_clean(self, src_tree, capsys):
         root = src_tree("clean.py", CLEAN)

@@ -157,6 +157,31 @@ class TestIsolation:
         results = asyncio.run(scenario())
         assert all(isinstance(result, RuntimeError) for result in results)
 
+    def test_telemetry_failure_fails_futures_instead_of_stranding(self):
+        # Regression (RPR504 hardening): the flush-path metrics calls
+        # used to run before the try/except that resolves futures, so
+        # a raising registry left every submitter awaiting forever.
+        class PoisonedCounterRegistry(MetricsRegistry):
+            def counter(self, name, tags=None):
+                if name == "repro_serving_batch_flush_total":
+                    raise RuntimeError("telemetry down")
+                return super().counter(name, tags=tags)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                lambda items: list(items),
+                window_seconds=0.01,
+                registry=PoisonedCounterRegistry(),
+            )
+            return await asyncio.wait_for(
+                asyncio.gather(batcher.submit("x"), return_exceptions=True),
+                timeout=5.0,  # pre-fix this would hang, not fail
+            )
+
+        [result] = asyncio.run(scenario())
+        assert isinstance(result, RuntimeError)
+        assert "telemetry down" in str(result)
+
     def test_result_length_mismatch_is_an_error(self):
         async def scenario():
             batcher = MicroBatcher(lambda items: [], window_seconds=0.01)
